@@ -1,0 +1,190 @@
+(* The aitia command-line interface.
+
+   aitia list                 — the modeled bug corpus
+   aitia diagnose <id> …      — run the full pipeline, print the report
+   aitia chain <id> …         — print only the causality chain
+   aitia fuzz <id> [--seed n] — fuzz the workload, then diagnose the crash
+   aitia compare <id> …       — run the prior-work baselines on a bug
+*)
+
+open Cmdliner
+
+let setup_logs =
+  let debug =
+    Arg.(value & flag & info [ "debug" ] ~doc:"Enable debug logging")
+  in
+  let init debug =
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some (if debug then Logs.Debug else Logs.Warning))
+  in
+  Term.(const init $ debug)
+
+let bug_arg =
+  let doc = "Bug id(s) from the corpus (see `aitia list'); 'all' selects \
+             every bug." in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"BUG" ~doc)
+
+let resolve ids =
+  let all = Bugs.Registry.all in
+  if List.mem "all" ids then all
+  else
+    List.map
+      (fun id ->
+        match Bugs.Registry.find id with
+        | Some b -> b
+        | None ->
+          Fmt.epr "unknown bug id %s; try `aitia list'@." id;
+          exit 1)
+      ids
+
+let diagnose_bug (bug : Bugs.Bug.t) =
+  Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+    (bug.case ())
+
+(* --- list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "%-18s %-14s %-26s %-5s %a@." "ID" "SUBSYSTEM" "BUG TYPE" "MULTI"
+      Fmt.string "SOURCE";
+    List.iter
+      (fun (b : Bugs.Bug.t) ->
+        Fmt.pr "%-18s %-14s %-26s %-5s %a@." b.id b.subsystem
+          (Bugs.Bug.bug_type_name b.bug_type)
+          (Bugs.Bug.variables_name b.variables)
+          Bugs.Bug.pp_source b.source)
+      Bugs.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the modeled bug corpus")
+    Term.(const run $ const ())
+
+(* --- diagnose --------------------------------------------------------- *)
+
+let diagnose_cmd =
+  let flips =
+    Arg.(value & flag
+         & info [ "flips" ] ~doc:"Print the Causality Analysis flip log")
+  in
+  let run () ids show_flips =
+    List.iter
+      (fun bug ->
+        let report = diagnose_bug bug in
+        Fmt.pr "%a@." Aitia.Report.pp report;
+        if show_flips then
+          match report.causality with
+          | None -> ()
+          | Some ca ->
+            Fmt.pr "flip log:@.";
+            List.iteri
+              (fun i (t : Aitia.Causality.tested) ->
+                Fmt.pr "  step %2d: flip %-24s -> %s@." (i + 1)
+                  (Fmt.str "%a" Aitia.Race.pp_short t.race)
+                  (match t.verdict with
+                  | Aitia.Causality.Root_cause -> "no failure (root cause)"
+                  | Aitia.Causality.Benign -> "still fails (benign)"))
+              ca.tested)
+      (resolve ids);
+    0
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Reproduce a failure and build its causality chain")
+    Term.(const run $ setup_logs $ bug_arg $ flips)
+
+(* --- chain ------------------------------------------------------------ *)
+
+let chain_cmd =
+  let run ids =
+    List.iter
+      (fun (bug : Bugs.Bug.t) ->
+        let report = diagnose_bug bug in
+        match report.chain with
+        | Some chain -> Fmt.pr "%-18s %a@." bug.id Aitia.Chain.pp chain
+        | None -> Fmt.pr "%-18s (not reproduced)@." bug.id)
+      (resolve ids);
+    0
+  in
+  Cmd.v (Cmd.info "chain" ~doc:"Print only the causality chain")
+    Term.(const run $ bug_arg)
+
+(* --- fuzz ------------------------------------------------------------- *)
+
+(* Indices of the bug's resource-setup threads (serial prologue). *)
+let prologue_of (group : Ksim.Program.group) =
+  List.filteri
+    (fun _ (s : Ksim.Program.thread_spec) -> String.equal s.spec_name "init")
+    group.Ksim.Program.threads
+  |> List.map (fun (s : Ksim.Program.thread_spec) ->
+         let rec index i = function
+           | [] -> -1
+           | (x : Ksim.Program.thread_spec) :: rest ->
+             if String.equal x.spec_name s.spec_name then i
+             else index (i + 1) rest
+         in
+         index 0 group.Ksim.Program.threads)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed")
+  in
+  let run ids seed =
+    List.iter
+      (fun (bug : Bugs.Bug.t) ->
+        let case = bug.case () in
+        let prologue = prologue_of case.group in
+        match
+          Fuzz.Fuzzer.run ~seed ~prologue ~subsystem:bug.subsystem case.group
+        with
+        | Error stats ->
+          Fmt.pr "%-18s no crash in %d runs@." bug.id stats.executed
+        | Ok finding ->
+          Fmt.pr "%-18s crashed after %d run(s): %a@." bug.id
+            finding.runs_until_crash Ksim.Failure.pp finding.failure;
+          let case' = { case with history = finding.history } in
+          let report =
+            Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+              case'
+          in
+          Fmt.pr "%a@." Aitia.Report.pp report)
+      (resolve ids);
+    0
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz a workload Syzkaller-style, then diagnose the crash")
+    Term.(const run $ bug_arg $ seed)
+
+(* --- compare ---------------------------------------------------------- *)
+
+let compare_cmd =
+  let run ids =
+    Fmt.pr "%-18s %-6s %-7s %-5s %-5s@." "ID" "AITIA" "KAIRUX" "CBL" "MUVI";
+    List.iter
+      (fun (bug : Bugs.Bug.t) ->
+        let report = diagnose_bug bug in
+        match Baselines.Requirements.evidence_of_report report with
+        | None -> Fmt.pr "%-18s (not reproduced)@." bug.id
+        | Some ev ->
+          let single_variable = bug.variables = Bugs.Bug.Single in
+          let cap = Baselines.Requirements.capability ~single_variable ev in
+          let b x = if x then "yes" else "no" in
+          Fmt.pr "%-18s %-6s %-7s %-5s %-5s@." bug.id (b cap.cap_aitia)
+            (b cap.cap_kairux) (b cap.cap_cbl) (b cap.cap_muvi))
+      (resolve ids);
+    0
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare AITIA against Kairux / CBL / MUVI on a bug (Sec 5.3)")
+    Term.(const run $ bug_arg)
+
+let main =
+  let info =
+    Cmd.info "aitia" ~version:"1.0.0"
+      ~doc:"Root-cause diagnosis of kernel concurrency failures (EuroSys'23)"
+  in
+  Cmd.group info [ list_cmd; diagnose_cmd; chain_cmd; fuzz_cmd; compare_cmd ]
+
+let () = exit (Cmd.eval' main)

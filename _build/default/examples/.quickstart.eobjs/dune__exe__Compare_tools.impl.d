@@ -1,0 +1,1 @@
+examples/compare_tools.ml: Aitia Baselines Bugs Fmt List Option

@@ -1,0 +1,1 @@
+examples/diagnose_cve.ml: Aitia Bugs Fmt Hypervisor Ksim List Trace

@@ -1,0 +1,1 @@
+examples/explore_lifs.ml: Aitia Bugs Fmt Hypervisor Ksim List Trace

@@ -1,0 +1,1 @@
+examples/fuzz_and_diagnose.ml: Aitia Bugs Fmt Fuzz Ksim List Trace

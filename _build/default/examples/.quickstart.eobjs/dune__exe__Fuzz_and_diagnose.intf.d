@@ -1,0 +1,1 @@
+examples/fuzz_and_diagnose.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aitia Bugs Fmt Ksim

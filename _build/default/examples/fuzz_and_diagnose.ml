@@ -1,0 +1,51 @@
+(* The §5.2 workflow: a Syzkaller-style fuzzer finds kernel crashes, and
+   AITIA diagnoses each one from the fuzzer's own outputs (execution
+   history + crash report) — no manual input.
+
+     dune exec examples/fuzz_and_diagnose.exe *)
+
+let prologue_of (group : Ksim.Program.group) =
+  List.mapi (fun i (s : Ksim.Program.thread_spec) -> (i, s.spec_name))
+    group.Ksim.Program.threads
+  |> List.filter_map (fun (i, n) -> if n = "init" then Some i else None)
+
+let () =
+  let targets =
+    [ Bugs.Fig9_irqfd.bug; Bugs.Syz_10_md_assert.bug;
+      Bugs.Syz_12_bluetooth_uaf.bug ]
+  in
+  List.iter
+    (fun (bug : Bugs.Bug.t) ->
+      Fmt.pr "=== fuzzing workload of %s (%s) ===@." bug.id bug.subsystem;
+      let case = bug.case () in
+      let prologue = prologue_of case.group in
+      (* Scan seeds the way a fuzzing campaign scans inputs. *)
+      let rec campaign seed =
+        if seed > 50 then Error ()
+        else
+          match
+            Fuzz.Fuzzer.run ~max_runs:500 ~seed ~prologue
+              ~subsystem:bug.subsystem case.group
+          with
+          | Ok f -> Ok (seed, f)
+          | Error _ -> campaign (seed + 1)
+      in
+      match campaign 1 with
+      | Error () -> Fmt.pr "no crash found@."
+      | Ok (seed, finding) ->
+        Fmt.pr "seed %d crashed after %d random schedule(s): %a@." seed
+          finding.runs_until_crash Ksim.Failure.pp finding.failure;
+        Fmt.pr "ftrace history (%d events), crash report: %a@."
+          (List.length (Trace.History.events finding.history))
+          Trace.Crash.pp
+          (Trace.History.crash finding.history);
+        (* Hand the fuzzer's outputs to AITIA. *)
+        let case' = { case with history = finding.history } in
+        let report =
+          Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+            case'
+        in
+        (match report.chain with
+        | Some chain -> Fmt.pr "diagnosis: %a@.@." Aitia.Chain.pp chain
+        | None -> Fmt.pr "diagnosis failed to reproduce@.@."))
+    targets

@@ -1,0 +1,1 @@
+lib/baselines/coop_bug_localization.ml: Aitia Float Fmt Hashtbl Hypervisor Int Ksim List Option

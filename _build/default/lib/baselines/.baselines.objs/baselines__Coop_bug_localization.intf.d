@@ -1,0 +1,1 @@
+lib/baselines/coop_bug_localization.mli: Aitia Fmt Hypervisor Ksim

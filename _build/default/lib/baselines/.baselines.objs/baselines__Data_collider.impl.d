@@ -1,0 +1,1 @@
+lib/baselines/data_collider.ml: Aitia Fmt Fuzz Hashtbl Hypervisor Ksim List String

@@ -1,0 +1,1 @@
+lib/baselines/data_collider.mli: Aitia Fmt Ksim

@@ -1,0 +1,1 @@
+lib/baselines/kairux.ml: Aitia Fmt Hypervisor Ksim List

@@ -1,0 +1,1 @@
+lib/baselines/kairux.mli: Aitia Fmt Hypervisor Ksim

@@ -1,0 +1,1 @@
+lib/baselines/muvi.ml: Aitia Array Float Fmt Hashtbl Hypervisor Ksim List String

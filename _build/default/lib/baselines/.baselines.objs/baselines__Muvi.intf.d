@@ -1,0 +1,1 @@
+lib/baselines/muvi.mli: Aitia Fmt Hypervisor Ksim

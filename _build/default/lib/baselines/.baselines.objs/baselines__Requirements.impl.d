@@ -1,0 +1,1 @@
+lib/baselines/requirements.ml: Aitia Coop_bug_localization Fmt Fuzz Hypervisor Kairux Ksim List Muvi String

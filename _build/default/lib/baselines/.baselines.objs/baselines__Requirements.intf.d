@@ -1,0 +1,1 @@
+lib/baselines/requirements.mli: Aitia Fmt Hypervisor Ksim

@@ -1,0 +1,180 @@
+(* Cooperative bug localization in the style of Snorlax (SOSP'17) and
+   Gist (SOSP'15): a fixed set of single-variable interleaving patterns
+   is matched against failing and passing runs, and the pattern with the
+   strongest statistical correlation to failure is reported.
+
+   The predefined patterns (and nothing else — that is the point of the
+   §5.3 comparison) are:
+
+   - order violation: accesses a (thread t) and b (thread t') to one
+     location executed a => b in failing runs and b => a (or a alone) in
+     passing runs;
+   - single-variable atomicity violation: a thread's consecutive pair of
+     accesses to one location interleaved by a remote write in failing
+     runs but not in passing runs. *)
+
+module Iid = Ksim.Access.Iid
+
+type pattern =
+  | Order_violation of { first : Iid.t; second : Iid.t; addr : Ksim.Addr.t }
+  | Atomicity_violation of {
+      local_a : Iid.t;
+      local_b : Iid.t;          (* same-thread pair *)
+      remote : Iid.t;           (* interleaving write *)
+      addr : Ksim.Addr.t;
+    }
+
+let pattern_addr = function
+  | Order_violation { addr; _ } | Atomicity_violation { addr; _ } -> addr
+
+let pp_pattern ppf = function
+  | Order_violation { first; second; addr } ->
+    Fmt.pf ppf "order violation %a => %a on %a" Iid.pp_full first Iid.pp_full
+      second Ksim.Addr.pp addr
+  | Atomicity_violation { local_a; local_b; remote; addr } ->
+    Fmt.pf ppf "atomicity violation (%a..%a) <- %a on %a" Iid.pp_full local_a
+      Iid.pp_full local_b Iid.pp_full remote Ksim.Addr.pp addr
+
+type scored = { pattern : pattern; score : float; fail_hits : int;
+                pass_hits : int }
+
+type result = {
+  ranked : scored list;        (* best first *)
+  runs_analyzed : int;
+}
+
+let accesses (o : Hypervisor.Controller.outcome) =
+  List.filter_map (fun (e : Ksim.Machine.event) -> e.access) o.trace
+
+(* Enumerate pattern instances present in one run.  Location sequences
+   are overlap-aware (a kfree of an object joins the sequences of its
+   fields), matching the conflict notion used elsewhere. *)
+let patterns_of (o : Hypervisor.Controller.outcome) : pattern list =
+  let acc = accesses o in
+  List.fold_left
+    (fun out (_, seq) ->
+      let rec scan out = function
+        | [] -> out
+        | (a : Ksim.Access.t) :: rest ->
+          let out =
+            List.fold_left
+              (fun out (b : Ksim.Access.t) ->
+                if
+                  b.iid.Iid.tid <> a.iid.Iid.tid
+                  && (Ksim.Access.is_write a || Ksim.Access.is_write b)
+                then
+                  Order_violation
+                    { first = a.iid; second = b.iid; addr = a.addr }
+                  :: out
+                else out)
+              out rest
+          in
+          (* atomicity: a and the next same-thread access with a remote
+             write in between *)
+          let rec find_local between = function
+            | [] -> out
+            | (c : Ksim.Access.t) :: more ->
+              if c.iid.Iid.tid = a.iid.Iid.tid then (
+                match
+                  List.find_opt
+                    (fun (w : Ksim.Access.t) -> Ksim.Access.is_write w)
+                    (List.rev between)
+                with
+                | Some w ->
+                  Atomicity_violation
+                    { local_a = a.iid; local_b = c.iid; remote = w.iid;
+                      addr = a.addr }
+                  :: out
+                | None -> out)
+              else
+                find_local
+                  (if c.iid.Iid.tid <> a.iid.Iid.tid then c :: between
+                   else between)
+                  more
+          in
+          let out = find_local [] rest in
+          scan out rest
+      in
+      scan out seq)
+    []
+    (Aitia.Race.location_sequences acc)
+
+let pattern_key p = Fmt.str "%a" pp_pattern p
+
+(* Rank patterns by correlation: present in failing runs, absent from
+   passing runs. *)
+let analyze ~(failing : Hypervisor.Controller.outcome list)
+    ~(passing : Hypervisor.Controller.outcome list) : result =
+  let table : (string, pattern * int ref * int ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let record which o =
+    List.iter
+      (fun p ->
+        let k = pattern_key p in
+        let _, f, s =
+          match Hashtbl.find_opt table k with
+          | Some e -> e
+          | None ->
+            let e = (p, ref 0, ref 0) in
+            Hashtbl.add table k e;
+            e
+        in
+        match which with `Fail -> incr f | `Pass -> incr s)
+      (List.sort_uniq compare (patterns_of o))
+  in
+  List.iter (record `Fail) failing;
+  List.iter (record `Pass) passing;
+  let nf = float_of_int (max 1 (List.length failing)) in
+  let np = float_of_int (max 1 (List.length passing)) in
+  (* Snorlax-style proximity tie-break: among equally correlated
+     patterns, the one whose later endpoint sits closest to the failure
+     point of the failed run ranks first. *)
+  let position =
+    let tbl = Hashtbl.create 128 in
+    (match failing with
+    | (o : Hypervisor.Controller.outcome) :: _ ->
+      List.iteri
+        (fun i (e : Ksim.Machine.event) ->
+          Hashtbl.replace tbl (Fmt.str "%a" Iid.pp_full e.iid) i)
+        o.trace
+    | [] -> ());
+    fun iid ->
+      Option.value ~default:(-1)
+        (Hashtbl.find_opt tbl (Fmt.str "%a" Iid.pp_full iid))
+  in
+  let last_pos = function
+    | Order_violation { second; _ } -> position second
+    | Atomicity_violation { local_b; _ } -> position local_b
+  in
+  let ranked =
+    Hashtbl.fold
+      (fun _ (p, f, s) out ->
+        let score = (float_of_int !f /. nf) -. (float_of_int !s /. np) in
+        { pattern = p; score; fail_hits = !f; pass_hits = !s } :: out)
+      table []
+    |> List.sort (fun a b ->
+           let c = Float.compare b.score a.score in
+           if c <> 0 then c
+           else Int.compare (last_pos b.pattern) (last_pos a.pattern))
+  in
+  { ranked; runs_analyzed = List.length failing + List.length passing }
+
+let top r = List.nth_opt r.ranked 0
+
+(* The §5.3 capability check: cooperative bug localization diagnoses a
+   failure only when the bug fits its single-variable pattern set AND
+   the top-ranked pattern actually points into the ground-truth chain.
+   For multi-variable bugs a single pattern is necessarily partial —
+   the paper's "cannot diagnose the half of bugs". *)
+let covers_chain ~single_variable (r : result) (chain : Aitia.Chain.t) =
+  single_variable
+  &&
+  match top r with
+  | None -> false
+  | Some { pattern; _ } ->
+    List.exists
+      (fun (race : Aitia.Race.t) ->
+        Ksim.Addr.overlaps race.first.addr (pattern_addr pattern)
+        || Ksim.Addr.overlaps race.second.addr (pattern_addr pattern))
+      (Aitia.Chain.races chain)

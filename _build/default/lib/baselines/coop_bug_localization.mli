@@ -1,0 +1,46 @@
+(** Cooperative bug localization in the style of Snorlax (SOSP'17) and
+    Gist (SOSP'15): a fixed set of single-variable interleaving patterns
+    ranked by statistical correlation to failure, with a proximity
+    tie-break toward the failure point. *)
+
+module Iid = Ksim.Access.Iid
+
+type pattern =
+  | Order_violation of { first : Iid.t; second : Iid.t; addr : Ksim.Addr.t }
+  | Atomicity_violation of {
+      local_a : Iid.t;
+      local_b : Iid.t;
+      remote : Iid.t;
+      addr : Ksim.Addr.t;
+    }
+
+val pattern_addr : pattern -> Ksim.Addr.t
+val pp_pattern : pattern Fmt.t
+
+type scored = {
+  pattern : pattern;
+  score : float;
+  fail_hits : int;
+  pass_hits : int;
+}
+
+type result = {
+  ranked : scored list;  (** best first *)
+  runs_analyzed : int;
+}
+
+val patterns_of : Hypervisor.Controller.outcome -> pattern list
+val pattern_key : pattern -> string
+
+val analyze :
+  failing:Hypervisor.Controller.outcome list ->
+  passing:Hypervisor.Controller.outcome list ->
+  result
+
+val top : result -> scored option
+
+val covers_chain :
+  single_variable:bool -> result -> Aitia.Chain.t -> bool
+(** Diagnosed only when the bug fits the single-variable pattern set and
+    the top pattern points into the chain — multi-variable bugs are the
+    half these techniques cannot diagnose (§5.3). *)

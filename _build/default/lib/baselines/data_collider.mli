@@ -1,0 +1,30 @@
+(** A DataCollider-style sampling race detector (Erickson et al.,
+    OSDI'10) — the detector whose output §2.3 quotes ("104 data races
+    out of 113 detected races were benign").  It traps a sampled
+    access, stalls the thread for a delay window while watching the
+    location, and reports anything that collides — benign or not. *)
+
+module Iid = Ksim.Access.Iid
+
+type report = {
+  sampled : Ksim.Access.t;
+  racing : Ksim.Access.t;
+}
+
+type result = {
+  races : report list;   (** deduplicated by static pair *)
+  rounds : int;
+  traps_placed : int;
+}
+
+val race_key : report -> string
+
+val detect :
+  ?rounds:int -> ?window:int -> ?seed:int -> prologue:int list ->
+  Ksim.Program.group -> result
+
+val benign_fraction : result -> Aitia.Chain.t -> float
+(** The share of detected races the ground-truth causality chain does
+    not need — the manual-triage burden AITIA removes. *)
+
+val pp : result Fmt.t

@@ -1,0 +1,62 @@
+(* Kairux-style inflection-point analysis (Zhang et al., SOSP'19),
+   simplified to our substrate.
+
+   The inflection point hypothesis: the root cause of a failure is the
+   first event of the failed run that deviates from the non-failed run
+   sharing the longest common prefix.  The output is a single
+   instruction, which is the crux of the comparison in §5.3: for kernel
+   concurrency failures whose root cause is a chain of several data
+   races, one instruction cannot carry the full explanation
+   (comprehensiveness), even though the approach is pattern-agnostic and
+   concise. *)
+
+module Iid = Ksim.Access.Iid
+
+type result = {
+  inflection : Iid.t option;     (* None if no passing run to compare *)
+  lcp_length : int;              (* events shared with the closest pass *)
+  compared_runs : int;
+}
+
+let iids_of (o : Hypervisor.Controller.outcome) =
+  List.map (fun (e : Ksim.Machine.event) -> e.iid) o.trace
+
+let common_prefix_length a b =
+  let rec go n = function
+    | x :: xs, y :: ys when Iid.equal x y -> go (n + 1) (xs, ys)
+    | _ -> n
+  in
+  go 0 (a, b)
+
+(* Locate the inflection point of [failing] against the non-failing
+   [passing] runs. *)
+let analyze ~(failing : Hypervisor.Controller.outcome)
+    ~(passing : Hypervisor.Controller.outcome list) : result =
+  let f = iids_of failing in
+  let best =
+    List.fold_left
+      (fun acc p ->
+        let n = common_prefix_length f (iids_of p) in
+        max acc n)
+      0 passing
+  in
+  let inflection = List.nth_opt f best in
+  { inflection; lcp_length = best; compared_runs = List.length passing }
+
+(* Does a single-instruction answer cover the ground-truth causality
+   chain?  Only when the chain is a single race whose second endpoint is
+   the inflection point's neighbourhood; for multi-race chains the
+   answer is necessarily partial. *)
+let covers_chain (r : result) (chain : Aitia.Chain.t) =
+  match Aitia.Chain.races chain, r.inflection with
+  | [ race ], Some ip ->
+    Iid.equal ip race.Aitia.Race.first.iid
+    || Iid.equal ip race.Aitia.Race.second.iid
+  | _, _ -> false
+
+let pp ppf r =
+  match r.inflection with
+  | None -> Fmt.string ppf "no inflection point (no passing run)"
+  | Some ip ->
+    Fmt.pf ppf "inflection point %a (lcp %d over %d runs)" Iid.pp_full ip
+      r.lcp_length r.compared_runs

@@ -1,0 +1,25 @@
+(** Kairux-style inflection-point analysis (Zhang et al., SOSP'19): the
+    root cause as the first event of the failed run deviating from the
+    non-failed run sharing the longest common prefix — a single
+    instruction, which is the crux of the §5.3 comparison. *)
+
+module Iid = Ksim.Access.Iid
+
+type result = {
+  inflection : Iid.t option;
+  lcp_length : int;
+  compared_runs : int;
+}
+
+val common_prefix_length : Iid.t list -> Iid.t list -> int
+
+val analyze :
+  failing:Hypervisor.Controller.outcome ->
+  passing:Hypervisor.Controller.outcome list ->
+  result
+
+val covers_chain : result -> Aitia.Chain.t -> bool
+(** A single instruction covers the ground truth only for one-race
+    chains whose endpoint it hits. *)
+
+val pp : result Fmt.t

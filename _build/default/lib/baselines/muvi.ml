@@ -1,0 +1,160 @@
+(* MUVI-style access-correlation inference (Lu et al., SOSP'07).
+
+   MUVI assumes that semantically correlated variables are accessed
+   together: if one is accessed, the other follows within a short window
+   with high probability.  It infers correlated pairs from many runs and
+   flags multi-variable bugs whose unsynchronized accesses split an
+   inferred pair.
+
+   The §5.3 comparison hinges on the assumption's failure modes:
+   - single-variable failures have no pair to infer;
+   - loosely correlated objects (§2.2) are accessed together too rarely
+     (their accesses sit far apart, in different subsystems), so the
+     confidence never reaches the threshold. *)
+
+module Iid = Ksim.Access.Iid
+
+type pair = { var_a : Ksim.Addr.t; var_b : Ksim.Addr.t; confidence : float }
+
+type result = {
+  correlated : pair list;
+  vars_seen : int;
+}
+
+let default_window = 10
+let default_confidence = 0.6
+
+(* Canonical variable identity: field name for heap fields (object ids
+   differ across runs), global name otherwise. *)
+let var_of (a : Ksim.Addr.t) =
+  match a with
+  | Ksim.Addr.Global gname -> "g:" ^ gname
+  | Ksim.Addr.Field (_, f) -> "f:" ^ f
+  | Ksim.Addr.Index (_, _) -> "slots"
+  | Ksim.Addr.Whole _ -> "obj"
+
+(* Infer correlated variable pairs from traces.  MUVI reasons about
+   static code: the unit of evidence is an instruction site (thread base
+   + label), not a dynamic access — a site "accesses x together with y"
+   if in some execution an access to y by the same thread appears within
+   [window] events of it.  confidence(x -> y) is the fraction of x's
+   sites with a nearby y; a pair is correlated when both directions pass
+   the threshold. *)
+let analyze ?(window = default_window) ?(confidence = default_confidence)
+    (runs : Hypervisor.Controller.outcome list) : result =
+  let site (e : Ksim.Machine.event) = (e.thread_name, e.iid.Iid.label) in
+  (* var -> set of sites accessing it *)
+  let sites_of : (string, ((string * string), unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  (* (var x, site accessing x) -> set of vars seen nearby *)
+  let near : (string * (string * string) * string, unit) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let addr_sample : (string, Ksim.Addr.t) Hashtbl.t = Hashtbl.create 32 in
+  let add_site x s =
+    let tbl =
+      match Hashtbl.find_opt sites_of x with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 8 in
+        Hashtbl.add sites_of x t;
+        t
+    in
+    Hashtbl.replace tbl s ()
+  in
+  List.iter
+    (fun (o : Hypervisor.Controller.outcome) ->
+      let events = Array.of_list o.trace in
+      let n = Array.length events in
+      for i = 0 to n - 1 do
+        match events.(i).Ksim.Machine.access with
+        | None -> ()
+        | Some a ->
+          let x = var_of a.addr in
+          Hashtbl.replace addr_sample x a.addr;
+          let s = site events.(i) in
+          add_site x s;
+          for j = max 0 (i - window) to min (n - 1) (i + window) do
+            if j <> i then
+              match events.(j).Ksim.Machine.access with
+              | Some b
+                when b.iid.Iid.tid = a.iid.Iid.tid
+                     && not (Ksim.Addr.equal b.addr a.addr) ->
+                Hashtbl.replace near (x, s, var_of b.addr) ()
+              | Some _ | None -> ()
+          done
+      done)
+    runs;
+  let site_confidence x y =
+    match Hashtbl.find_opt sites_of x with
+    | None -> 0.0
+    | Some sites ->
+      let total = Hashtbl.length sites in
+      let hits =
+        Hashtbl.fold
+          (fun s () acc ->
+            if Hashtbl.mem near (x, s, y) then acc + 1 else acc)
+          sites 0
+      in
+      float_of_int hits /. float_of_int (max 1 total)
+  in
+  let vars = Hashtbl.fold (fun v _ acc -> v :: acc) sites_of [] in
+  let correlated =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun y ->
+            if x < y then (
+              let conf = Float.min (site_confidence x y) (site_confidence y x) in
+              if conf >= confidence then
+                Some
+                  { var_a = Hashtbl.find addr_sample x;
+                    var_b = Hashtbl.find addr_sample y;
+                    confidence = conf }
+              else None)
+            else None)
+          vars)
+      vars
+  in
+  { correlated; vars_seen = List.length vars }
+
+let inferred r x y =
+  let vx = var_of x and vy = var_of y in
+  List.exists
+    (fun p ->
+      let pa = var_of p.var_a and pb = var_of p.var_b in
+      (String.equal pa vx && String.equal pb vy)
+      || (String.equal pa vy && String.equal pb vx))
+    r.correlated
+
+(* MUVI explains a failure only if the chain spans >= 2 variables and
+   every pair of chain variables is inferred correlated.  Whole-object
+   accesses (kfree) are not variables and are ignored. *)
+let covers_chain (r : result) (chain : Aitia.Chain.t) =
+  let addrs =
+    List.filter_map
+      (fun (race : Aitia.Race.t) ->
+        match race.first.addr with
+        | (Ksim.Addr.Global _ | Ksim.Addr.Field _) as a -> Some a
+        | Ksim.Addr.Index _ | Ksim.Addr.Whole _ -> None)
+      (Aitia.Chain.races chain)
+    |> List.sort_uniq Ksim.Addr.compare
+  in
+  match addrs with
+  | [] | [ _ ] -> false  (* single-variable: outside MUVI's assumption *)
+  | addrs ->
+    List.for_all
+      (fun x ->
+        List.for_all
+          (fun y -> Ksim.Addr.equal x y || inferred r x y)
+          addrs)
+      addrs
+
+let pp ppf r =
+  Fmt.pf ppf "%d correlated pair(s) over %d vars:@ %a"
+    (List.length r.correlated) r.vars_seen
+    (Fmt.list ~sep:Fmt.semi (fun ppf p ->
+         Fmt.pf ppf "(%a, %a)@%.2f" Ksim.Addr.pp p.var_a Ksim.Addr.pp p.var_b
+           p.confidence))
+    r.correlated

@@ -1,0 +1,35 @@
+(** MUVI-style access-correlation inference (Lu et al., SOSP'07): if two
+    variables are semantically correlated, accesses to one are followed
+    by accesses to the other within a short window, at most sites.  The
+    assumption fails for single-variable bugs and for loosely correlated
+    objects (§2.2) — the boundary the §5.3 comparison measures. *)
+
+type pair = {
+  var_a : Ksim.Addr.t;
+  var_b : Ksim.Addr.t;
+  confidence : float;
+}
+
+type result = {
+  correlated : pair list;
+  vars_seen : int;
+}
+
+val default_window : int
+val default_confidence : float
+
+val var_of : Ksim.Addr.t -> string
+(** Canonical variable identity (field names, not object ids). *)
+
+val analyze :
+  ?window:int -> ?confidence:float ->
+  Hypervisor.Controller.outcome list -> result
+(** Site-based inference: the unit of evidence is a static instruction
+    site, as in MUVI's static analysis. *)
+
+val inferred : result -> Ksim.Addr.t -> Ksim.Addr.t -> bool
+
+val covers_chain : result -> Aitia.Chain.t -> bool
+(** Requires >= 2 chain variables, all pairwise inferred correlated. *)
+
+val pp : result Fmt.t

@@ -1,0 +1,1 @@
+lib/bugs/bug.ml: Aitia Fmt

@@ -1,0 +1,1 @@
+lib/bugs/bug.mli: Aitia Fmt

@@ -1,0 +1,1 @@
+lib/bugs/caselib.ml: Fmt Ksim List String Trace

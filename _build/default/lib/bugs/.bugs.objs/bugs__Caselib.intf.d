@@ -1,0 +1,1 @@
+lib/bugs/caselib.mli: Ksim Trace

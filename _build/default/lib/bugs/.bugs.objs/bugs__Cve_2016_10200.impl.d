@@ -1,0 +1,1 @@
+lib/bugs/cve_2016_10200.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/cve_2017_10661.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/cve_2017_15649_fixes.ml: Aitia Caselib Ksim

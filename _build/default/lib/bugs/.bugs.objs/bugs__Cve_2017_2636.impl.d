@@ -1,0 +1,1 @@
+lib/bugs/cve_2017_2636.ml: Aitia Bug Caselib Ksim String

@@ -1,0 +1,1 @@
+lib/bugs/cve_2017_2671.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/cve_2017_7533.ml: Aitia Bug Caselib Ksim

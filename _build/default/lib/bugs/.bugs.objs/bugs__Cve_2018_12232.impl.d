@@ -1,0 +1,1 @@
+lib/bugs/cve_2018_12232.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/cve_2019_11486.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/cve_2019_6974.ml: Aitia Bug Caselib Ksim

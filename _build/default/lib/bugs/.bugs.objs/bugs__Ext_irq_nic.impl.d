@@ -1,0 +1,1 @@
+lib/bugs/ext_irq_nic.ml: Aitia Bug Caselib Ksim

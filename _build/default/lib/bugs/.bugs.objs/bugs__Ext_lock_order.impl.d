@@ -1,0 +1,1 @@
+lib/bugs/ext_lock_order.ml: Aitia Bug Caselib Ksim

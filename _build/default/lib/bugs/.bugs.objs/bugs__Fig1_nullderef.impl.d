@@ -1,0 +1,1 @@
+lib/bugs/fig1_nullderef.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/fig4_single_syscall.ml: Aitia Bug Caselib Ksim

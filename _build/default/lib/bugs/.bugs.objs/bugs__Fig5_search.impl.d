@@ -1,0 +1,1 @@
+lib/bugs/fig5_search.ml: Aitia Bug Caselib Ksim

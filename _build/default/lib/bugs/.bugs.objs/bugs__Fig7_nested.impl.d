@@ -1,0 +1,1 @@
+lib/bugs/fig7_nested.ml: Aitia Bug Caselib Ksim

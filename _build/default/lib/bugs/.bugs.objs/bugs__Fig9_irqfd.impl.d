@@ -1,0 +1,1 @@
+lib/bugs/fig9_irqfd.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/syz_01_l2tp_oob.ml: Aitia Bug Caselib Ksim

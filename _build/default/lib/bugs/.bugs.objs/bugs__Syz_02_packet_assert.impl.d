@@ -1,0 +1,1 @@
+lib/bugs/syz_02_packet_assert.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/syz_03_l2tp_uaf.ml: Aitia Bug Caselib Ksim

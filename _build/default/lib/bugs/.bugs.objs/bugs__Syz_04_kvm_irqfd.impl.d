@@ -1,0 +1,1 @@
+lib/bugs/syz_04_kvm_irqfd.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/syz_05_rxrpc_uaf.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/syz_06_bpf_gpf.ml: Aitia Bug Caselib Ksim

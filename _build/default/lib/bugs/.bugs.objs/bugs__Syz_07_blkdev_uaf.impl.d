@@ -1,0 +1,1 @@
+lib/bugs/syz_07_blkdev_uaf.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/syz_08_can_j1939.ml: Aitia Bug Caselib Ksim

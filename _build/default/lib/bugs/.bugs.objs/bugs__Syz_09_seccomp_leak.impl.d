@@ -1,0 +1,1 @@
+lib/bugs/syz_09_seccomp_leak.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/syz_10_md_assert.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/syz_11_floppy_warn.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,1 @@
+lib/bugs/syz_12_bluetooth_uaf.ml: Aitia Bug Caselib Ksim

@@ -1,0 +1,85 @@
+(* Metadata for the modeled concurrency-bug corpus: the 10 CVEs of
+   Table 2, the 12 Syzkaller failures of Table 3, and the paper's figure
+   examples. *)
+
+type source =
+  | Cve of string                               (* "CVE-2017-15649" *)
+  | Syzkaller of { index : int; title : string }
+  | Figure of string                            (* "Figure 1" *)
+  (* Extension cases beyond the paper's evaluation (e.g. the hardware-IRQ
+     future work of its §4.6). *)
+  | Extension of string
+
+type bug_type =
+  | Use_after_free
+  | Slab_out_of_bounds
+  | Assertion_violation
+  | General_protection_fault
+  | Memory_leak
+  | Null_dereference
+  | Refcount_warning
+  | List_corruption
+
+let bug_type_name = function
+  | Use_after_free -> "Use-after-free access"
+  | Slab_out_of_bounds -> "Slab-out-of-bound access"
+  | Assertion_violation -> "Assertion violation"
+  | General_protection_fault -> "General protection fault"
+  | Memory_leak -> "Memory leak"
+  | Null_dereference -> "NULL pointer dereference"
+  | Refcount_warning -> "Refcount warning"
+  | List_corruption -> "List corruption"
+
+(* Multi-variable classification of §5.2: [Loosely] marks the asterisked
+   entries whose racing objects are loosely correlated. *)
+type variables = Single | Multi | Multi_loose
+
+let variables_name = function
+  | Single -> "No"
+  | Multi -> "Yes"
+  | Multi_loose -> "Yes*"
+
+type expectation = {
+  (* Shape this model is expected to exhibit, used by tests. *)
+  exp_interleavings : int;       (* LIFS interleaving count *)
+  exp_chain_races : int option;  (* "# of races in chain" where reported *)
+  exp_ambiguous : bool;          (* CVE-2016-10200 only *)
+  exp_kthread : bool;            (* involves a kernel background thread *)
+}
+
+(* The rows of Tables 2 and 3 as published, for paper-vs-measured
+   comparison in the benchmark harness. *)
+type paper_stats = {
+  p_lifs_time : float;        (* seconds *)
+  p_lifs_scheds : int;
+  p_interleavings : int;
+  p_ca_time : float;          (* seconds *)
+  p_ca_scheds : int;
+  p_chain_races : int option; (* Table 3 only *)
+}
+
+type t = {
+  id : string;               (* short stable id, e.g. "cve-2017-15649" *)
+  source : source;
+  subsystem : string;
+  bug_type : bug_type;
+  variables : variables;
+  fixed_at_eval : bool;      (* bold rows of Table 3 were NOT yet fixed *)
+  expectation : expectation;
+  paper : paper_stats option;
+  (* Some models need a deeper interleaving search than the default. *)
+  max_interleavings : int option;
+  description : string;
+  case : unit -> Aitia.Diagnose.case;
+}
+
+let pp_source ppf = function
+  | Cve s -> Fmt.string ppf s
+  | Syzkaller { index; title } -> Fmt.pf ppf "syzkaller#%d (%s)" index title
+  | Figure s -> Fmt.string ppf s
+  | Extension s -> Fmt.pf ppf "extension (%s)" s
+
+let pp ppf b =
+  Fmt.pf ppf "%-18s %-14s %-26s multi=%s" b.id b.subsystem
+    (bug_type_name b.bug_type)
+    (variables_name b.variables)

@@ -1,0 +1,62 @@
+(** Metadata for the modeled concurrency-bug corpus: the 10 CVEs of
+    Table 2, the 12 Syzkaller failures of Table 3, the paper's figure
+    examples, and the extension cases. *)
+
+type source =
+  | Cve of string
+  | Syzkaller of { index : int; title : string }
+  | Figure of string
+  | Extension of string
+      (** beyond the paper's evaluation, e.g. its §4.6 IRQ future work *)
+
+type bug_type =
+  | Use_after_free
+  | Slab_out_of_bounds
+  | Assertion_violation
+  | General_protection_fault
+  | Memory_leak
+  | Null_dereference
+  | Refcount_warning
+  | List_corruption
+
+val bug_type_name : bug_type -> string
+
+(** §5.2's multi-variable classification; [Multi_loose] marks the
+    asterisked rows whose racing objects are loosely correlated. *)
+type variables = Single | Multi | Multi_loose
+
+val variables_name : variables -> string
+
+type expectation = {
+  exp_interleavings : int;       (** LIFS interleaving count *)
+  exp_chain_races : int option;  (** races in the causality chain *)
+  exp_ambiguous : bool;          (** CVE-2016-10200 / Figure 7 only *)
+  exp_kthread : bool;            (** chain crosses a kthread boundary *)
+}
+
+(** The published Table 2/3 row, for paper-vs-measured comparison. *)
+type paper_stats = {
+  p_lifs_time : float;
+  p_lifs_scheds : int;
+  p_interleavings : int;
+  p_ca_time : float;
+  p_ca_scheds : int;
+  p_chain_races : int option;
+}
+
+type t = {
+  id : string;
+  source : source;
+  subsystem : string;
+  bug_type : bug_type;
+  variables : variables;
+  fixed_at_eval : bool;  (** bold Table 3 rows were NOT yet fixed *)
+  expectation : expectation;
+  paper : paper_stats option;
+  max_interleavings : int option;  (** deeper search where needed *)
+  description : string;
+  case : unit -> Aitia.Diagnose.case;
+}
+
+val pp_source : source Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,175 @@
+(* Shared machinery for building bug cases: synthetic ftrace histories
+   around a program group, and the benign-race "noise" code that makes
+   failed executions carry the realistic volume of memory-accessing
+   instructions and benign races reported in §5.2. *)
+
+open Ksim.Program.Build
+
+(* --- synthetic ftrace histories --------------------------------------- *)
+
+(* Build an execution history in which [setup] syscalls run sequentially,
+   then the group's top-level threads run concurrently, background
+   threads are invoked from within the concurrent window, and the crash
+   report arrives last.  [extra] adds unrelated sequential episodes
+   before the concurrent window so the slicer has something to discard. *)
+let history ~(group : Ksim.Program.group) ?(setup : string list = [])
+    ?(extra : (string * string) list = []) ~symptom ?location ~subsystem ()
+    : Trace.History.t =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let t = ref 0.0 in
+  let tick () =
+    t := !t +. 0.05;
+    !t
+  in
+  (* Unrelated earlier activity. *)
+  List.iter
+    (fun (thread, call) ->
+      push { Trace.Event.time = tick ();
+             kind = Trace.Event.Syscall_enter { call; thread; resources = [] } };
+      push { Trace.Event.time = tick ();
+             kind = Trace.Event.Syscall_exit { call; thread } })
+    extra;
+  (* Sequential setup calls (e.g. open()/socket()). *)
+  let spec_of name =
+    List.find_opt
+      (fun (s : Ksim.Program.thread_spec) -> String.equal s.spec_name name)
+      group.Ksim.Program.threads
+  in
+  List.iter
+    (fun name ->
+      match spec_of name with
+      | None -> ()
+      | Some spec ->
+        let call =
+          match spec.context with
+          | Ksim.Program.Syscall { call; _ } -> call
+          | _ -> name
+        in
+        push { Trace.Event.time = tick ();
+               kind = Trace.Event.Syscall_enter
+                   { call; thread = name; resources = spec.resources } };
+        push { Trace.Event.time = tick ();
+               kind = Trace.Event.Syscall_exit { call; thread = name } })
+    setup;
+  (* The concurrent window. *)
+  let start = tick () in
+  let concurrent =
+    List.filter
+      (fun (s : Ksim.Program.thread_spec) ->
+        not (List.mem s.spec_name setup))
+      group.Ksim.Program.threads
+  in
+  List.iteri
+    (fun i (spec : Ksim.Program.thread_spec) ->
+      let call =
+        match spec.context with
+        | Ksim.Program.Syscall { call; _ } -> call
+        | _ -> spec.spec_name
+      in
+      push { Trace.Event.time = start +. (0.001 *. float_of_int i);
+             kind = Trace.Event.Syscall_enter
+                 { call; thread = spec.spec_name;
+                   resources = spec.resources } })
+    concurrent;
+  (* Background-thread invocations observed inside the window. *)
+  List.iter
+    (fun (entry, _) ->
+      push { Trace.Event.time = start +. 0.01;
+             kind = Trace.Event.Kthread_invoked
+                 { entry; source = "syscall"; context = Ksim.Program.Kworker } })
+    group.Ksim.Program.entries;
+  let stop = start +. 0.5 in
+  List.iter
+    (fun (spec : Ksim.Program.thread_spec) ->
+      let call =
+        match spec.context with
+        | Ksim.Program.Syscall { call; _ } -> call
+        | _ -> spec.spec_name
+      in
+      push { Trace.Event.time = stop;
+             kind = Trace.Event.Syscall_exit
+                 { call; thread = spec.spec_name } })
+    concurrent;
+  let crash =
+    { Trace.Crash.symptom; location; subsystem; report_time = stop +. 0.1 }
+  in
+  Trace.History.make ~events:!events ~crash
+
+(* --- benign-race noise ------------------------------------------------- *)
+
+(* Kernel code is full of intentionally racy bookkeeping: statistics
+   counters, cache hit counters, flag bits nobody synchronizes.  These
+   are the benign races Causality Analysis must rule out (§2.3).  Each
+   call emits a loop of [iters] racy counter updates over the shared
+   [counters], prefixed with [prefix] to keep labels unique per thread. *)
+let noise ~prefix ~counters ~iters =
+  let l s = prefix ^ "_" ^ s in
+  [ assign (l "n_init") "noise_i" (cint 0);
+    nop (l "n_top");
+  ]
+  @ List.concat_map
+      (fun counter ->
+        [ load (l ("n_rd_" ^ counter)) "noise_v" (g counter)
+            ~func:"stats_update" ~line:0;
+          store (l ("n_wr_" ^ counter)) (g counter)
+            (Add (reg "noise_v", cint 1))
+            ~func:"stats_update" ~line:0 ])
+      counters
+  @ [ assign (l "n_inc") "noise_i" (Add (reg "noise_i", cint 1));
+      branch_if (l "n_loop") (Lt (reg "noise_i", cint iters)) (l "n_top");
+    ]
+
+(* Globals declaring the shared statistics counters. *)
+let noise_globals counters =
+  List.map (fun c -> (c, Ksim.Value.Int 0)) counters
+
+(* Register-only filler: models the code distance separating loosely
+   correlated objects (different functions / subsystems, §2.2) without
+   adding memory accesses.  MUVI's windowed co-occurrence never sees
+   across it; LIFS and Causality Analysis are unaffected. *)
+let filler ~prefix n =
+  List.init n (fun i ->
+      assign (Fmt.str "%s_fill%d" prefix i) "scratch" (cint i))
+
+(* Heavier benign traffic: a per-CPU-statistics ring.  Each call walks a
+   shared [slots]-entry array [iters] times doing racy read-increment-
+   write updates — every slot is a distinct racy location, so big
+   subsystems contribute the large benign-race populations the paper
+   reports (§5.2: 108.4 races on average in a failed execution).  The
+   array is published in global [buf] by [array_noise_setup]. *)
+let array_noise ~prefix ~buf ~slots ~iters =
+  let l s = prefix ^ "_s_" ^ s in
+  [ load (l "buf") "sn_buf" (g buf) ~func:"cpu_stats_update" ~line:0;
+    assign (l "idx") "sn_idx" (cint 0);
+    assign (l "iter") "sn_iter" (cint 0);
+    nop (l "top");
+    load (l "rd") "sn_v" (reg "sn_buf" **@ reg "sn_idx")
+      ~func:"cpu_stats_update" ~line:1;
+    store (l "wr") (reg "sn_buf" **@ reg "sn_idx")
+      (Add (reg "sn_v", cint 1))
+      ~func:"cpu_stats_update" ~line:2;
+    assign (l "inc") "sn_idx" (Add (reg "sn_idx", cint 1));
+    branch_if (l "wrap_chk") (Lt (reg "sn_idx", cint slots)) (l "cont");
+    assign (l "wrap") "sn_idx" (cint 0);
+    nop (l "cont");
+    assign (l "iter_inc") "sn_iter" (Add (reg "sn_iter", cint 1));
+    branch_if (l "loop") (Lt (reg "sn_iter", cint iters)) (l "top") ]
+
+(* Instructions allocating and publishing the statistics ring; belongs
+   in a setup (prologue) thread. *)
+let array_noise_setup ~prefix ~buf ~slots =
+  [ alloc (prefix ^ "_sb_alloc") "sn_new" "percpu_stats" ~slots
+      ~func:"alloc_percpu" ~line:0;
+    store (prefix ^ "_sb_pub") (g buf) (reg "sn_new") ~func:"alloc_percpu"
+      ~line:1 ]
+
+(* --- thread-spec helpers ----------------------------------------------- *)
+
+let syscall_thread ?(resources = []) name call instrs =
+  { Ksim.Program.spec_name = name;
+    context = Ksim.Program.Syscall { call; sysno = 0 };
+    program = Ksim.Program.make ~name:call instrs;
+    resources }
+
+let entry name instrs = (name, Ksim.Program.make ~name instrs)

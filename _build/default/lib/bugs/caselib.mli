@@ -1,0 +1,49 @@
+(** Shared machinery for building bug cases: synthetic ftrace histories
+    and the benign-race populations that make failed executions carry
+    realistic volumes of memory accesses and benign races (§5.2). *)
+
+val history :
+  group:Ksim.Program.group ->
+  ?setup:string list ->
+  ?extra:(string * string) list ->
+  symptom:string ->
+  ?location:string ->
+  subsystem:string ->
+  unit ->
+  Trace.History.t
+(** An execution history: [setup] syscalls run sequentially, the group's
+    remaining threads run concurrently, background threads are invoked
+    inside the window, and the crash report arrives last.  [extra] adds
+    unrelated sequential episodes for the slicer to discard. *)
+
+val noise :
+  prefix:string -> counters:string list -> iters:int ->
+  Ksim.Program.labeled list
+(** A loop of racy statistics-counter updates — the benign races
+    Causality Analysis must rule out (§2.3).  Labels are prefixed to
+    stay unique per thread. *)
+
+val noise_globals : string list -> (string * Ksim.Value.t) list
+
+val filler : prefix:string -> int -> Ksim.Program.labeled list
+(** Register-only instructions modeling the code distance that separates
+    loosely correlated objects (§2.2); invisible to race analysis. *)
+
+val array_noise :
+  prefix:string -> buf:string -> slots:int -> iters:int ->
+  Ksim.Program.labeled list
+(** Heavier benign traffic: racy updates walking a shared per-CPU
+    statistics ring — every slot is a distinct racy location. *)
+
+val array_noise_setup :
+  prefix:string -> buf:string -> slots:int -> Ksim.Program.labeled list
+(** Allocate and publish the statistics ring; belongs in a setup
+    (prologue) thread. *)
+
+val syscall_thread :
+  ?resources:string list -> string -> string -> Ksim.Program.labeled list ->
+  Ksim.Program.thread_spec
+(** [syscall_thread name call instrs]. *)
+
+val entry : string -> Ksim.Program.labeled list -> string * Ksim.Program.t
+(** A background-thread entry point. *)

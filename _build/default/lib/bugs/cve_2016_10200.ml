@@ -1,0 +1,75 @@
+(* CVE-2016-10200 — L2TP: bind() vs connect() on the session hash.
+
+   The connect path publishes the two halves of the socket's hash state
+   (v4 bind flag and hash bucket) non-atomically while a concurrent
+   recv-path reader consumes them in the opposite order.  This is the
+   one evaluation case where Causality Analysis hits the ambiguity of
+   §3.4: the surrounding race (A1 => B2) cannot be flipped while
+   preserving the nested one (A2 => B1).
+
+     B0  sk_ready = 1   (bind publishes the socket)
+     A0  if (!sk_ready) return
+     A1  sk_bound = 1                B1  h = sk_hash
+     A2  sk_hash  = 1                B2  b = sk_bound
+                                     B3  BUG_ON(h && b)
+
+   Chain: (B0 => A0) --> (A2 => B1) --> (A1 => B2)? --> BUG_ON, with the
+   last race reported ambiguous. *)
+
+open Ksim.Program.Build
+
+let counters = [ "l2tp_stat_rx"; "l2tp_stat_tx" ]
+
+let group =
+  let thread_bind =
+    Caselib.syscall_thread ~resources:[ "l2tp3" ] "B" "bind"
+      ([ store "B0" (g "sk_ready") (cint 1) ~func:"l2tp_ip_bind" ~line:270 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:7
+      @ [ load "B1" "h" (g "sk_hash") ~func:"l2tp_ip_recv" ~line:180;
+          load "B2" "b" (g "sk_bound") ~func:"l2tp_ip_recv" ~line:181;
+          bug_on "B3" (And (reg "h", reg "b")) ~func:"l2tp_ip_recv" ~line:182 ])
+  in
+  let thread_connect =
+    Caselib.syscall_thread ~resources:[ "l2tp3" ] "A" "connect"
+      ([ load "A0" "ready" (g "sk_ready") ~func:"l2tp_ip_connect" ~line:320;
+         branch_if "A0_chk" (Eq (reg "ready", cint 0)) "A_ret"
+           ~func:"l2tp_ip_connect" ~line:321 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:7
+      @ [ store "A1" (g "sk_bound") (cint 1) ~func:"l2tp_ip_connect" ~line:330;
+          store "A2" (g "sk_hash") (cint 1) ~func:"l2tp_ip_connect" ~line:331;
+          return "A_ret" ~func:"l2tp_ip_connect" ~line:340 ])
+  in
+  Ksim.Program.group ~name:"cve-2016-10200"
+    ~globals:
+      ([ ("sk_ready", Ksim.Value.Int 0); ("sk_bound", Ksim.Value.Int 0);
+         ("sk_hash", Ksim.Value.Int 0) ]
+      @ Caselib.noise_globals counters)
+    [ thread_connect; thread_bind ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "cve-2016-10200";
+    subsystem = "L2TP";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "sendmsg") ]
+        ~symptom:"kernel BUG (BUG_ON)" ~location:"B3" ~subsystem:"L2TP" () }
+
+let bug : Bug.t =
+  { id = "cve-2016-10200";
+    source = Bug.Cve "CVE-2016-10200";
+    subsystem = "L2TP";
+    bug_type = Bug.Assertion_violation;
+    variables = Bug.Multi;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = None; exp_ambiguous = true;
+        exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 32.8; p_lifs_scheds = 112; p_interleavings = 1;
+          p_ca_time = 184.9; p_ca_scheds = 159; p_chain_races = None };
+    max_interleavings = None;
+    description =
+      "Non-atomic publication of the (bound, hash) pair consumed in the \
+       opposite order — the evaluation's single ambiguity case.";
+    case }

@@ -1,0 +1,79 @@
+(* CVE-2016-8655 — packet socket: pg_vec ring use-after-free.
+
+   packet_set_ring()'s teardown frees the ring buffer while a concurrent
+   transmit path still holds a pointer to it:
+
+     A (setsockopt ring teardown)    B (sendmsg)
+     A1  r = ring_ptr                B1  r = ring_ptr
+     A2  kfree(r)                    B1c if (!r) return
+     A3  ring_ptr = NULL             B2  r->slot ...      <- UAF
+
+   Chain: (B1 => A3) --> (A2 => B2) --> use-after-free. *)
+
+open Ksim.Program.Build
+
+let counters = [ "pkt_ring_stat"; "pkt_drop_stat" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "sock8" ] "init" "setsockopt"
+      ([ alloc "I1" "ring" "pg_vec" ~fields:[ ("slot", cint 0) ]
+          ~func:"packet_set_ring" ~line:4200;
+        store "I2" (g "ring_ptr") (reg "ring") ~func:"packet_set_ring"
+          ~line:4201 ]
+      @ Caselib.array_noise_setup ~prefix:"I" ~buf:"pkt8655_cpustats" ~slots:16)
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "sock8" ] "A" "setsockopt_version"
+      (Caselib.array_noise ~prefix:"A" ~buf:"pkt8655_cpustats" ~slots:16 ~iters:16
+      @ [ load "A1" "r" (g "ring_ptr") ~func:"packet_set_ring" ~line:4240;
+         branch_if "A1_chk" (Is_null (reg "r")) "A_ret"
+           ~func:"packet_set_ring" ~line:4241 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:8
+      @ [ free "A2" (reg "r") ~func:"packet_set_ring" ~line:4250;
+          store "A3" (g "ring_ptr") cnull ~func:"packet_set_ring" ~line:4251;
+          return "A_ret" ~func:"packet_set_ring" ~line:4260 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "sock8" ] "B" "sendmsg"
+      (Caselib.array_noise ~prefix:"B" ~buf:"pkt8655_cpustats" ~slots:16 ~iters:16
+      @ [ load "B1" "r" (g "ring_ptr") ~func:"tpacket_snd" ~line:2830;
+         branch_if "B1_chk" (Is_null (reg "r")) "B_ret" ~func:"tpacket_snd"
+           ~line:2831 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:8
+      @ [ store "B2" (reg "r" **-> "slot") (cint 1) ~func:"tpacket_snd"
+            ~line:2840;
+          return "B_ret" ~func:"tpacket_snd" ~line:2850 ])
+  in
+  Ksim.Program.group ~name:"cve-2016-8655"
+    ~globals:([ ("pkt8655_cpustats", Ksim.Value.Null); ("ring_ptr", Ksim.Value.Null) ] @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "cve-2016-8655";
+    subsystem = "Packet socket";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "recvmsg") ]
+        ~symptom:"KASAN: use-after-free" ~location:"B2"
+        ~subsystem:"Packet socket" () }
+
+let bug : Bug.t =
+  { id = "cve-2016-8655";
+    source = Bug.Cve "CVE-2016-8655";
+    subsystem = "Packet socket";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Single;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 47.8; p_lifs_scheds = 213; p_interleavings = 1;
+          p_ca_time = 184.0; p_ca_scheds = 135; p_chain_races = None };
+    max_interleavings = None;
+    description =
+      "Ring teardown frees pg_vec while the transmit path writes through \
+       its stale pointer.";
+    case }

@@ -1,0 +1,75 @@
+(* CVE-2017-10661 — timerfd: concurrent might_cancel operations corrupt
+   the cancel list.
+
+   Two timerfd_settime() calls both observe might_cancel == 0 and both
+   insert the same timer into the cancel list; CONFIG_DEBUG_LIST catches
+   the double insertion:
+
+     A (timerfd_settime)              B (timerfd_settime)
+     A1  if (might_cancel) goto out   B1  if (might_cancel) goto out
+     A3  might_cancel = 1             B3  might_cancel = 1
+     A4  list_add(tfd, cancel_list)   B4  list_add(tfd, cancel_list)
+
+   Chain: (B1 => A3) --> list corruption (the check-then-act atomicity
+   violation on a single variable). *)
+
+open Ksim.Program.Build
+
+let counters = [ "timer_stat_arm"; "timer_stat_fire"; "hrtimer_stat" ]
+
+let settime name pfx line0 =
+  Caselib.syscall_thread ~resources:[ "tfd4" ] name "timerfd_settime"
+    ([ load (pfx ^ "1") "mc" (g "might_cancel") ~func:"timerfd_setup_cancel"
+         ~line:line0;
+       branch_if (pfx ^ "1_chk") (Ne (reg "mc", cint 0)) (pfx ^ "_ret")
+         ~func:"timerfd_setup_cancel" ~line:line0 ]
+    @ Caselib.noise ~prefix:pfx ~counters ~iters:9
+    @ [ store (pfx ^ "3") (g "might_cancel") (cint 1)
+          ~func:"timerfd_setup_cancel" ~line:(line0 + 2);
+        load (pfx ^ "4_ld") "tfd" (g "tfd_ptr") ~func:"timerfd_setup_cancel"
+          ~line:(line0 + 3);
+        list_add (pfx ^ "4") (g "cancel_list") (reg "tfd")
+          ~func:"timerfd_setup_cancel" ~line:(line0 + 3);
+        return (pfx ^ "_ret") ~func:"do_timerfd_settime" ~line:(line0 + 10) ])
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "tfd4" ] "init" "timerfd_create"
+      [ alloc "I1" "tfd" "timerfd_ctx" ~func:"timerfd_create" ~line:390;
+        store "I2" (g "tfd_ptr") (reg "tfd") ~func:"timerfd_create" ~line:391 ]
+  in
+  Ksim.Program.group ~name:"cve-2017-10661"
+    ~globals:
+      ([ ("might_cancel", Ksim.Value.Int 0); ("tfd_ptr", Ksim.Value.Null);
+         ("cancel_list", Ksim.Value.List []) ]
+      @ Caselib.noise_globals counters)
+    [ init; settime "A" "A" 120; settime "B" "B" 120 ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "cve-2017-10661";
+    subsystem = "Timer fd";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "poll") ]
+        ~symptom:"list corruption (CONFIG_DEBUG_LIST)" ~location:"B4"
+        ~subsystem:"Timer fd" () }
+
+let bug : Bug.t =
+  { id = "cve-2017-10661";
+    source = Bug.Cve "CVE-2017-10661";
+    subsystem = "Timer fd";
+    bug_type = Bug.List_corruption;
+    variables = Bug.Single;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = None;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 32.8; p_lifs_scheds = 99; p_interleavings = 1;
+          p_ca_time = 336.1; p_ca_scheds = 266; p_chain_races = None };
+    max_interleavings = None;
+    description =
+      "Two settime calls both pass the might_cancel check and insert the \
+       same timerfd into the cancel list twice.";
+    case }

@@ -1,0 +1,102 @@
+(* CVE-2017-15649 — packet socket fanout (Figure 2).
+
+   setsockopt(PACKET_FANOUT) and bind() race on the semantically
+   correlated pair po->fanout / po->running:
+
+     Thread A (fanout_add)            Thread B (packet_do_bind)
+     A2  if (!po->running) return;    B2   if (po->fanout) return;
+     A5  match = kmalloc();           B11  po->running = 0;
+     A6  po->fanout = match;          B12  if (po->fanout)
+     A12 list_add(sk, &global_list);  B17    BUG_ON(!list_contains(sk));
+
+   Failure-causing sequence (Figure 6): B2 => A2 => A6 => B11 => B12 =>
+   B17; the BUG_ON fires because sk was never inserted.  Expected chain:
+   (A2 => B11) /\ (B2 => A6) --> (A6 => B12) --> (B17 => A12) --> BUG_ON.
+   LIFS needs interleaving count 2 (Table 2). *)
+
+open Ksim.Program.Build
+
+let counters = [ "pkt_stats_rx"; "pkt_stats_tx"; "sock_refcnt_stat" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "sock7" ] "init" "socket"
+      ([ alloc "I1" "sk" "sock" ~fields:[ ("state", cint 1) ]
+           ~func:"sk_alloc" ~line:120;
+         store "I2" (g "sk_ptr") (reg "sk") ~func:"sk_alloc" ~line:121;
+         store "I3" (g "po_running") (cint 1) ~func:"packet_create" ~line:130;
+         store "I4" (g "po_fanout") cnull ~func:"packet_create" ~line:131 ]
+      @ Caselib.array_noise_setup ~prefix:"I" ~buf:"pkt_cpustats" ~slots:12)
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "sock7" ] "A" "setsockopt"
+      (Caselib.array_noise ~prefix:"A" ~buf:"pkt_cpustats" ~slots:12 ~iters:24
+      @ [ load "A2" "running" (g "po_running") ~func:"fanout_add" ~line:1402;
+         branch_if "A2_chk" (Eq (reg "running", cint 0)) "A_ret"
+           ~func:"fanout_add" ~line:1402;
+         alloc "A5" "match_" "packet_fanout" ~func:"fanout_add" ~line:1415;
+         store "A6" (g "po_fanout") (reg "match_") ~func:"fanout_add"
+           ~line:1420 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:6
+      @ [ load "A11" "sk" (g "sk_ptr") ~func:"fanout_link" ~line:1380;
+          list_add "A12" (g "global_list") (reg "sk") ~func:"fanout_link"
+            ~line:1382;
+          return "A_ret" ~func:"fanout_add" ~line:1430 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "sock7" ] "B" "bind"
+      (Caselib.array_noise ~prefix:"B" ~buf:"pkt_cpustats" ~slots:12 ~iters:24
+      @ [ load "B2" "fanout" (g "po_fanout") ~func:"packet_do_bind" ~line:3001;
+         branch_if "B2_chk" (Not (Is_null (reg "fanout"))) "B_ret"
+           ~func:"packet_do_bind" ~line:3001 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:6
+      @ [ store "B11" (g "po_running") (cint 0) ~func:"unregister_hook"
+            ~line:2950;
+          load "B12" "fanout2" (g "po_fanout") ~func:"unregister_hook"
+            ~line:2952;
+          branch_if "B12_chk" (Is_null (reg "fanout2")) "B_ret"
+            ~func:"unregister_hook" ~line:2952;
+          load "B16" "sk" (g "sk_ptr") ~func:"fanout_unlink" ~line:1390;
+          list_contains "B17" "on_list" (g "global_list") (reg "sk")
+            ~func:"fanout_unlink" ~line:1392;
+          bug_on "B17_bug" (Not (reg "on_list")) ~func:"fanout_unlink"
+            ~line:1392;
+          return "B_ret" ~func:"packet_do_bind" ~line:3020 ])
+  in
+  Ksim.Program.group ~name:"cve-2017-15649"
+    ~globals:
+      ([ ("po_running", Ksim.Value.Int 0); ("po_fanout", Ksim.Value.Null);
+         ("sk_ptr", Ksim.Value.Null); ("global_list", Ksim.Value.List []);
+         ("pkt_cpustats", Ksim.Value.Null) ]
+      @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "cve-2017-15649";
+    subsystem = "Packet socket";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ]
+        ~extra:[ ("W", "mmap"); ("X", "sendto") ]
+        ~symptom:"kernel BUG (BUG_ON)" ~location:"B17_bug"
+        ~subsystem:"Packet socket" () }
+
+let bug : Bug.t =
+  { id = "cve-2017-15649";
+    source = Bug.Cve "CVE-2017-15649";
+    subsystem = "Packet socket";
+    bug_type = Bug.Assertion_violation;
+    variables = Bug.Multi;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 2; exp_chain_races = Some 4;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 88.0; p_lifs_scheds = 1052; p_interleavings = 2;
+          p_ca_time = 337.9; p_ca_scheds = 257; p_chain_races = None };
+    max_interleavings = None;
+    description =
+      "Multi-variable atomicity violation on po->running / po->fanout \
+       with a race-steered control flow into fanout_unlink's BUG_ON.";
+    case }

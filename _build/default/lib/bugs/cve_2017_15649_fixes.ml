@@ -1,0 +1,139 @@
+(* The §2.1 fix study for CVE-2017-15649.
+
+   The paper: "cooperative bug localization (e.g., Snorlax, Gist) will
+   report an order violation in B17 => A12 only.  However, enforcing the
+   order B17 => A12 is not a correct fix.  Even with such a fix, both
+   threads still can execute fanout_link() concurrently (at A8 and B7),
+   resulting in the corruption of global_list due to the insertion of a
+   shared object twice."
+
+   [wrong_fix_group] models that fix: thread B spin-waits until sk is on
+   global_list before its check (enforcing B17 => A12) and then — as in
+   the full Figure 2, where packet_do_bind() re-links at B7 — inserts sk
+   itself.  The BUG_ON is gone; a double list_add corruption replaces it.
+
+   [correct_fix_group] models the developers' actual fix: po->running
+   and po->fanout accessed atomically (one lock around both critical
+   regions), cutting the chain's head conjunction
+   (A2 => B11) /\ (B2 => A6).  No schedule reproduces any failure. *)
+
+open Ksim.Program.Build
+
+let base_globals =
+  [ ("po_running", Ksim.Value.Int 1); ("po_fanout", Ksim.Value.Null);
+    ("sk_ptr", Ksim.Value.Null); ("global_list", Ksim.Value.List []) ]
+
+let init =
+  Caselib.syscall_thread ~resources:[ "sock7" ] "init" "socket"
+    [ alloc "I1" "sk" "sock" ~func:"sk_alloc" ~line:120;
+      store "I2" (g "sk_ptr") (reg "sk") ~func:"sk_alloc" ~line:121 ]
+
+(* Thread A (fanout_add), optionally lock-protected. *)
+let thread_a ~locked =
+  let body =
+    [ load "A2" "running" (g "po_running") ~func:"fanout_add" ~line:1402;
+      branch_if "A2_chk" (Eq (reg "running", cint 0)) "A_out"
+        ~func:"fanout_add" ~line:1402;
+      alloc "A5" "match_" "packet_fanout" ~func:"fanout_add" ~line:1415;
+      store "A6" (g "po_fanout") (reg "match_") ~func:"fanout_add" ~line:1420;
+      load "A11" "sk" (g "sk_ptr") ~func:"fanout_link" ~line:1380;
+      list_add "A12" (g "global_list") (reg "sk") ~func:"fanout_link"
+        ~line:1382;
+      nop "A_out" ~func:"fanout_add" ~line:1429 ]
+  in
+  let instrs =
+    if locked then
+      (lock "A_lock" "fanout_mutex" ~func:"fanout_add" ~line:1400 :: body)
+      @ [ unlock "A_unlock" "fanout_mutex" ~func:"fanout_add" ~line:1430 ]
+    else body
+  in
+  Caselib.syscall_thread ~resources:[ "sock7" ] "A" "setsockopt" instrs
+
+(* Thread B (packet_do_bind), with the re-link of Figure 2's B7 and an
+   optional spin-wait "fix" before the unlink check. *)
+let thread_b ~locked ~spin_wait_fix =
+  let unlink_check =
+    (if spin_wait_fix then
+       (* The "fix" a single-pattern tool suggests: force B17 => A12 by
+          waiting until sk is on the list. *)
+       [ load "B16" "sk" (g "sk_ptr") ~func:"fanout_unlink" ~line:1390;
+         list_contains "B17w" "on_list" (g "global_list") (reg "sk")
+           ~func:"fanout_unlink" ~line:1391;
+         branch_if "B17w_spin" (Eq (reg "on_list", cint 0)) "B17w"
+           ~func:"fanout_unlink" ~line:1391 ]
+     else
+       [ load "B16" "sk" (g "sk_ptr") ~func:"fanout_unlink" ~line:1390 ])
+    @ [ list_contains "B17" "on_list2" (g "global_list") (reg "sk")
+          ~func:"fanout_unlink" ~line:1392;
+        bug_on "B17_bug" (Not (reg "on_list2")) ~func:"fanout_unlink"
+          ~line:1392;
+        list_del "B18" (g "global_list") (reg "sk") ~func:"fanout_unlink"
+          ~line:1393 ]
+  in
+  let body =
+    [ load "B2" "fanout" (g "po_fanout") ~func:"packet_do_bind" ~line:3001;
+      branch_if "B2_chk" (Not (Is_null (reg "fanout"))) "B_out"
+        ~func:"packet_do_bind" ~line:3001;
+      store "B11" (g "po_running") (cint 0) ~func:"unregister_hook"
+        ~line:2950;
+      load "B12" "fanout2" (g "po_fanout") ~func:"unregister_hook" ~line:2952;
+      branch_if "B12_chk" (Is_null (reg "fanout2")) "B_relink"
+        ~func:"unregister_hook" ~line:2952 ]
+    @ unlink_check
+    @ [ (* Figure 2's B7: bind re-registers and re-links. *)
+        nop "B_relink" ~func:"packet_do_bind" ~line:3010;
+        load "B7_sk" "sk2" (g "sk_ptr") ~func:"fanout_link" ~line:1380;
+        list_add "B7" (g "global_list") (reg "sk2") ~func:"fanout_link"
+          ~line:1382;
+        nop "B_out" ~func:"packet_do_bind" ~line:3020 ]
+  in
+  let instrs =
+    if locked then
+      (lock "B_lock" "fanout_mutex" ~func:"packet_do_bind" ~line:3000 :: body)
+      @ [ unlock "B_unlock" "fanout_mutex" ~func:"packet_do_bind" ~line:3021 ]
+    else body
+  in
+  Caselib.syscall_thread ~resources:[ "sock7" ] "B" "bind" instrs
+
+(* The unfixed kernel with the full Figure 2 code (including B's
+   re-link), where both the BUG_ON and the double-insertion lurk. *)
+let unfixed_group =
+  Ksim.Program.group ~name:"cve-2017-15649-full" ~globals:base_globals
+    [ init; thread_a ~locked:false; thread_b ~locked:false ~spin_wait_fix:false ]
+
+(* The wrong fix: only B17 => A12 is enforced. *)
+let wrong_fix_group =
+  Ksim.Program.group ~name:"cve-2017-15649-wrongfix" ~globals:base_globals
+    [ init; thread_a ~locked:false; thread_b ~locked:false ~spin_wait_fix:true ]
+
+(* The developers' fix: the correlated pair accessed atomically. *)
+let correct_fix_group =
+  Ksim.Program.group ~name:"cve-2017-15649-fixed" ~globals:base_globals
+    ~locks:[ "fanout_mutex" ]
+    [ init; thread_a ~locked:true; thread_b ~locked:true ~spin_wait_fix:false ]
+
+let history_of group symptom location =
+  Caselib.history ~group ~setup:[ "init" ] ~symptom ?location
+    ~subsystem:"Packet socket" ()
+
+let unfixed_case () : Aitia.Diagnose.case =
+  { case_name = "cve-2017-15649-full";
+    subsystem = "Packet socket";
+    group = unfixed_group;
+    history =
+      history_of unfixed_group "kernel BUG (BUG_ON)" (Some "B17_bug") }
+
+let wrong_fix_case () : Aitia.Diagnose.case =
+  { case_name = "cve-2017-15649-wrongfix";
+    subsystem = "Packet socket";
+    group = wrong_fix_group;
+    history =
+      history_of wrong_fix_group "list corruption (CONFIG_DEBUG_LIST)"
+        (Some "B7") }
+
+let correct_fix_case () : Aitia.Diagnose.case =
+  { case_name = "cve-2017-15649-fixed";
+    subsystem = "Packet socket";
+    group = correct_fix_group;
+    history =
+      history_of correct_fix_group "kernel BUG (BUG_ON)" (Some "B17_bug") }

@@ -1,0 +1,65 @@
+(* CVE-2017-2636 — n_hdlc TTY driver: double free of tbuf.
+
+   n_hdlc_release() and the flush path both take the same tx buffer off
+   the ldisc and free it; the check-then-clear of n_hdlc->tbuf is not
+   atomic:
+
+     A (ioctl flush)                 B (close/release)
+     A1  b = tbuf                    B1  b = tbuf
+     A1c if (!b) return              B1c if (!b) return
+     A3  tbuf = NULL                 B2  tbuf = NULL
+     A4  kfree(b)                    B3  kfree(b)        <- double free
+
+   Chain: (A1 => B2) --> double free (check-then-act on one variable). *)
+
+open Ksim.Program.Build
+
+let counters = [ "n_hdlc_stat_tx"; "n_hdlc_stat_rx"; "tty_stat_flip" ]
+
+let flusher name pfx func =
+  Caselib.syscall_thread ~resources:[ "hdlc5" ] name (String.lowercase_ascii func)
+    ([ load (pfx ^ "1") "b" (g "tbuf") ~func ~line:440;
+       branch_if (pfx ^ "1_chk") (Is_null (reg "b")) (pfx ^ "_ret") ~func
+         ~line:441 ]
+    @ Caselib.noise ~prefix:pfx ~counters ~iters:9
+    @ [ store (pfx ^ "2") (g "tbuf") cnull ~func ~line:445;
+        free (pfx ^ "3") (reg "b") ~func ~line:446;
+        return (pfx ^ "_ret") ~func ~line:450 ])
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "hdlc5" ] "init" "open"
+      [ alloc "I1" "b" "n_hdlc_buf" ~func:"n_hdlc_alloc" ~line:400;
+        store "I2" (g "tbuf") (reg "b") ~func:"n_hdlc_alloc" ~line:401 ]
+  in
+  Ksim.Program.group ~name:"cve-2017-2636"
+    ~globals:([ ("tbuf", Ksim.Value.Null) ] @ Caselib.noise_globals counters)
+    [ init; flusher "A" "A" "n_hdlc_tty_flush"; flusher "B" "B" "n_hdlc_tty_close" ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "cve-2017-2636";
+    subsystem = "TTY";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "write") ]
+        ~symptom:"KASAN: double-free" ~location:"B3" ~subsystem:"TTY" () }
+
+let bug : Bug.t =
+  { id = "cve-2017-2636";
+    source = Bug.Cve "CVE-2017-2636";
+    subsystem = "TTY";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Single;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = None;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 34.3; p_lifs_scheds = 197; p_interleavings = 1;
+          p_ca_time = 270.0; p_ca_scheds = 215; p_chain_races = None };
+    max_interleavings = None;
+    description =
+      "Flush and release both observe a non-NULL tbuf and free it; the \
+       check-then-clear is not atomic.";
+    case }

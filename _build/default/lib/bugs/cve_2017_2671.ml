@@ -1,0 +1,76 @@
+(* CVE-2017-2671 — IPv4 ping sockets: ping_unhash() vs connect() GPF.
+
+   ping_unhash poisons the socket's hash linkage while a concurrent
+   connect still believes the socket is hashed and follows the pointer:
+
+     A (disconnect/unhash)           B (connect)
+     A1  ping_ptr = LIST_POISON      B1  if (!sk_hashed) return
+     A2  sk_hashed = 0               B2  p = ping_ptr
+                                     B3  p->daddr = addr   <- GPF
+
+   Chain: (B1 => A2) --> (A1 => B2) --> general protection fault. *)
+
+open Ksim.Program.Build
+
+let counters = [ "icmp_stat_out"; "icmp_stat_in" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "ping2" ] "init" "socket"
+      [ alloc "I1" "grp" "ping_group" ~fields:[ ("daddr", cint 0) ]
+          ~func:"ping_hash" ~line:200;
+        store "I2" (g "ping_ptr") (reg "grp") ~func:"ping_hash" ~line:201;
+        store "I3" (g "sk_hashed") (cint 1) ~func:"ping_hash" ~line:202 ]
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "ping2" ] "A" "disconnect"
+      (Caselib.noise ~prefix:"A" ~counters ~iters:8
+      @ [ store "A1" (g "ping_ptr") (Const (Ksim.Value.Int 0xdead))
+            ~func:"ping_unhash" ~line:310;
+          store "A2" (g "sk_hashed") (cint 0) ~func:"ping_unhash" ~line:311 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "ping2" ] "B" "connect"
+      ([ load "B1" "hashed" (g "sk_hashed") ~func:"ping_v4_connect" ~line:840;
+         branch_if "B1_chk" (Eq (reg "hashed", cint 0)) "B_ret"
+           ~func:"ping_v4_connect" ~line:841 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:8
+      @ [ load "B2" "p" (g "ping_ptr") ~func:"ping_v4_connect" ~line:850;
+          store "B3" (reg "p" **-> "daddr") (cint 7) ~func:"ping_v4_connect"
+            ~line:851;
+          return "B_ret" ~func:"ping_v4_connect" ~line:860 ])
+  in
+  Ksim.Program.group ~name:"cve-2017-2671"
+    ~globals:
+      ([ ("ping_ptr", Ksim.Value.Null); ("sk_hashed", Ksim.Value.Int 0) ]
+      @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "cve-2017-2671";
+    subsystem = "IPV4";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "sendmsg") ]
+        ~symptom:"general protection fault" ~location:"B3" ~subsystem:"IPV4"
+        () }
+
+let bug : Bug.t =
+  { id = "cve-2017-2671";
+    source = Bug.Cve "CVE-2017-2671";
+    subsystem = "IPV4";
+    bug_type = Bug.General_protection_fault;
+    variables = Bug.Multi;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 33.2; p_lifs_scheds = 130; p_interleavings = 1;
+          p_ca_time = 195.3; p_ca_scheds = 159; p_chain_races = None };
+    max_interleavings = None;
+    description =
+      "ping_unhash poisons the hash pointer between connect's hashed \
+       check and its dereference.";
+    case }

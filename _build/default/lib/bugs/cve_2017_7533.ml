@@ -1,0 +1,81 @@
+(* CVE-2017-7533 — inotify vs rename(): slab-out-of-bounds read.
+
+   inotify_handle_event() reads the dentry name while a concurrent
+   rename() swaps it for a shorter one; the event path uses the stale
+   length with the new buffer — a multi-variable race on the correlated
+   pair (name buffer, name length):
+
+     A (rename)                      B (inotify event)
+     A1  new = kmalloc(short)        B1  len = d_name_len
+     A2  d_name_ptr = new            B2  buf = d_name_ptr
+     A3  d_name_len = 2              B3  c = buf[len-1]    <- OOB
+
+   Chain: (B1 => A3) /\ (A2 => B2) --> slab-out-of-bounds. *)
+
+open Ksim.Program.Build
+
+let counters = [ "fsnotify_stat_events"; "dcache_stat_hits"; "vfs_stat_renames" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "watch9" ] "init" "inotify_add_watch"
+      ([ alloc "I1" "name" "dentry_name" ~slots:4 ~func:"d_alloc" ~line:1700;
+        store "I2" (g "d_name_ptr") (reg "name") ~func:"d_alloc" ~line:1701;
+        store "I3" (g "d_name_len") (cint 4) ~func:"d_alloc" ~line:1702 ]
+      @ Caselib.array_noise_setup ~prefix:"I" ~buf:"fsnotify_cpustats" ~slots:16)
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "watch9" ] "A" "rename"
+      (Caselib.array_noise ~prefix:"A" ~buf:"fsnotify_cpustats" ~slots:16 ~iters:16
+      @ [ alloc "A1" "new_name" "dentry_name" ~slots:2 ~func:"d_move"
+           ~line:2840 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:12
+      @ [ store "A2" (g "d_name_ptr") (reg "new_name") ~func:"d_move"
+            ~line:2845;
+          store "A3" (g "d_name_len") (cint 2) ~func:"d_move" ~line:2846 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "watch9" ] "B" "read_events"
+      (Caselib.array_noise ~prefix:"B" ~buf:"fsnotify_cpustats" ~slots:16 ~iters:16
+      @ [ load "B1" "len" (g "d_name_len") ~func:"inotify_handle_event"
+           ~line:90 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:12
+      @ [ load "B2" "buf" (g "d_name_ptr") ~func:"inotify_handle_event"
+            ~line:95;
+          load "B3" "c" (reg "buf" **@ Sub (reg "len", cint 1))
+            ~func:"inotify_handle_event" ~line:96 ])
+  in
+  Ksim.Program.group ~name:"cve-2017-7533"
+    ~globals:
+      ([ ("fsnotify_cpustats", Ksim.Value.Null); ("d_name_ptr", Ksim.Value.Null); ("d_name_len", Ksim.Value.Int 0) ]
+      @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "cve-2017-7533";
+    subsystem = "Inotify";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "mkdir") ]
+        ~symptom:"KASAN: slab-out-of-bounds" ~location:"B3"
+        ~subsystem:"Inotify" () }
+
+let bug : Bug.t =
+  { id = "cve-2017-7533";
+    source = Bug.Cve "CVE-2017-7533";
+    subsystem = "Inotify";
+    bug_type = Bug.Slab_out_of_bounds;
+    variables = Bug.Multi;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 64.5; p_lifs_scheds = 1056; p_interleavings = 1;
+          p_ca_time = 1846.7; p_ca_scheds = 1578; p_chain_races = None };
+    max_interleavings = None;
+    description =
+      "rename() swaps the dentry name for a shorter buffer between the \
+       event path's reads of the correlated (length, buffer) pair.";
+    case }

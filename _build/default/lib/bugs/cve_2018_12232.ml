@@ -1,0 +1,80 @@
+(* CVE-2018-12232 — SockFS: close() vs fchownat() NULL dereference.
+
+   sock_close() clears SOCK_INODE(inode)->sk while a concurrent
+   fchownat() on the same inode walks to the socket and dereferences it:
+
+     A (close)                      B (fchownat)
+     A1  sk = inode_sk              B1  sk = inode_sk
+     A2  inode_sk = NULL            B1c if (!sk) return -ENOENT
+     A3  sock_release(sk) [free]    B2  sk->owner = uid    <- UAF/NULL
+
+   The window where A has cleared the pointer but B already loaded it
+   yields a use-after-free once A3 runs.
+   Chain: (B1 => A2) --> (A3 => B2) --> use-after-free. *)
+
+open Ksim.Program.Build
+
+let counters = [ "sockfs_stat_alloc"; "sockfs_stat_inuse" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "sock3" ] "init" "socket"
+      ([ alloc "I1" "sk" "socket" ~fields:[ ("owner", cint 0) ]
+          ~func:"sock_alloc" ~line:570;
+        store "I2" (g "inode_sk") (reg "sk") ~func:"sock_alloc" ~line:571 ]
+      @ Caselib.array_noise_setup ~prefix:"I" ~buf:"sockfs_cpustats" ~slots:16)
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "sock3" ] "A" "close"
+      (Caselib.array_noise ~prefix:"A" ~buf:"sockfs_cpustats" ~slots:16 ~iters:16
+      @ [ load "A1" "sk" (g "inode_sk") ~func:"sock_close" ~line:1180;
+         branch_if "A1_chk" (Is_null (reg "sk")) "A_ret" ~func:"sock_close"
+           ~line:1181 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:10
+      @ [ store "A2" (g "inode_sk") cnull ~func:"sock_release" ~line:600;
+          free "A3" (reg "sk") ~func:"sock_release" ~line:605;
+          return "A_ret" ~func:"sock_close" ~line:1190 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "sock3" ] "B" "fchownat"
+      (Caselib.array_noise ~prefix:"B" ~buf:"sockfs_cpustats" ~slots:16 ~iters:16
+      @ [ load "B1" "sk" (g "inode_sk") ~func:"sockfs_setattr" ~line:535;
+         branch_if "B1_chk" (Is_null (reg "sk")) "B_ret"
+           ~func:"sockfs_setattr" ~line:536 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:10
+      @ [ store "B2" (reg "sk" **-> "owner") (cint 1000)
+            ~func:"sockfs_setattr" ~line:540;
+          return "B_ret" ~func:"sockfs_setattr" ~line:545 ])
+  in
+  Ksim.Program.group ~name:"cve-2018-12232"
+    ~globals:([ ("sockfs_cpustats", Ksim.Value.Null); ("inode_sk", Ksim.Value.Null) ] @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "cve-2018-12232";
+    subsystem = "SockFS";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "fstat") ]
+        ~symptom:"KASAN: use-after-free" ~location:"B2" ~subsystem:"SockFS"
+        () }
+
+let bug : Bug.t =
+  { id = "cve-2018-12232";
+    source = Bug.Cve "CVE-2018-12232";
+    subsystem = "SockFS";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Single;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 37.8; p_lifs_scheds = 536; p_interleavings = 1;
+          p_ca_time = 511.4; p_ca_scheds = 680; p_chain_races = None };
+    max_interleavings = None;
+    description =
+      "sock_close clears and frees the inode's socket while a concurrent \
+       fchownat writes through its stale copy of the pointer.";
+    case }

@@ -1,0 +1,79 @@
+(* CVE-2019-11486 — TTY: Siemens R3964 line-discipline race.
+
+   Changing the line discipline (TIOCSETD) tears down the r3964 private
+   state while a concurrent receive path is still using it.  Modeled as
+   the classic teardown-vs-use shape:
+
+     A (ioctl TIOCSETD)            B (receive_buf)
+     A1  info = ldisc_info         B1  info = ldisc_info
+     A2  kfree(info)               B1c if (!info) return
+     A3  ldisc_info = NULL         B2  info->msg ...   <- UAF
+
+   Chain: (B1 => A3) --> (A2 => B2) --> use-after-free. *)
+
+open Ksim.Program.Build
+
+let counters = [ "tty_write_cnt"; "tty_irq_cnt" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "tty1" ] "init" "open"
+      ([ alloc "I1" "info" "r3964_info" ~fields:[ ("msg", cint 3) ]
+          ~func:"r3964_open" ~line:980;
+        store "I2" (g "ldisc_info") (reg "info") ~func:"r3964_open" ~line:981 ]
+      @ Caselib.array_noise_setup ~prefix:"I" ~buf:"tty_cpustats" ~slots:16)
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "tty1" ] "A" "ioctl_tiocsetd"
+      (Caselib.array_noise ~prefix:"A" ~buf:"tty_cpustats" ~slots:16 ~iters:16
+      @ [ load "A1" "info" (g "ldisc_info") ~func:"tty_set_ldisc" ~line:560;
+         branch_if "A1_chk" (Is_null (reg "info")) "A_ret"
+           ~func:"tty_set_ldisc" ~line:561 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:8
+      @ [ free "A2" (reg "info") ~func:"r3964_close" ~line:1006;
+          store "A3" (g "ldisc_info") cnull ~func:"r3964_close" ~line:1007;
+          return "A_ret" ~func:"tty_set_ldisc" ~line:570 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "tty1" ] "B" "read"
+      (Caselib.array_noise ~prefix:"B" ~buf:"tty_cpustats" ~slots:16 ~iters:16
+      @ [ load "B1" "info" (g "ldisc_info") ~func:"r3964_receive_buf"
+           ~line:1222;
+         branch_if "B1_chk" (Is_null (reg "info")) "B_ret"
+           ~func:"r3964_receive_buf" ~line:1223 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:8
+      @ [ load "B2" "msg" (reg "info" **-> "msg") ~func:"r3964_receive_buf"
+            ~line:1230;
+          return "B_ret" ~func:"r3964_receive_buf" ~line:1240 ])
+  in
+  Ksim.Program.group ~name:"cve-2019-11486"
+    ~globals:([ ("tty_cpustats", Ksim.Value.Null); ("ldisc_info", Ksim.Value.Null) ] @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "cve-2019-11486";
+    subsystem = "TTY";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "write") ]
+        ~symptom:"KASAN: use-after-free" ~location:"B2" ~subsystem:"TTY" () }
+
+let bug : Bug.t =
+  { id = "cve-2019-11486";
+    source = Bug.Cve "CVE-2019-11486";
+    subsystem = "TTY";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Single;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 44.7; p_lifs_scheds = 225; p_interleavings = 1;
+          p_ca_time = 497.6; p_ca_scheds = 130; p_chain_races = None };
+    max_interleavings = None;
+    description =
+      "Line-discipline teardown frees r3964 state under a concurrent \
+       receive path.";
+    case }

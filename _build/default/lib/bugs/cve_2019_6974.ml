@@ -1,0 +1,98 @@
+(* CVE-2019-6974 — KVM: kvm_ioctl_create_device() UAF.
+
+   The device fd is installed into the fd table before the kvm reference
+   is taken; a concurrent close() of that fd releases the device and
+   drops the last kvm reference, so the deferred kvm_get_kvm touches a
+   freed kvm.  The racing objects are loosely correlated: the fd table
+   lives in VFS, the kvm object in the hypervisor layer (§2.2).
+
+     A (KVM_CREATE_DEVICE)           B (close)
+     A1  fd_table = dev   (publish)  B1  dev = fd_table; if (!dev) ret
+     A2  kvm->users++     (late)     B2  fd_table = NULL
+                                     B3  r = --kvm->users
+                                     B4  if (r == 0)
+                                     B5      kfree(kvm)
+
+   Chain: (A1 => B1) --> (B5 => A2) --> use-after-free. *)
+
+open Ksim.Program.Build
+
+let counters = [ "kvm_stat_exits"; "kvm_stat_irqs"; "vfs_stat_opens" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "kvm0" ] "init" "open"
+      ([ alloc "I1" "kvm" "kvm" ~fields:[ ("users", cint 1) ]
+          ~func:"kvm_create_vm" ~line:700;
+        store "I2" (g "kvm_ptr") (reg "kvm") ~func:"kvm_create_vm" ~line:701;
+        store "I3" (g "fd_table") cnull ~func:"kvm_create_vm" ~line:702 ]
+      @ Caselib.array_noise_setup ~prefix:"I" ~buf:"kvm_cpustats" ~slots:16)
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "kvm0" ] "A" "ioctl_create_device"
+      (Caselib.array_noise ~prefix:"A" ~buf:"kvm_cpustats" ~slots:16 ~iters:16
+      @ [ alloc "A0" "dev" "kvm_device" ~func:"kvm_ioctl_create_device"
+           ~line:2990;
+         store "A1" (g "fd_table") (reg "dev")
+           ~func:"kvm_ioctl_create_device" ~line:3003 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:7
+      @ [ load "A1b" "kvm" (g "kvm_ptr") ~func:"kvm_ioctl_create_device"
+            ~line:3009;
+          load "A2" "u" (reg "kvm" **-> "users") ~func:"kvm_get_kvm"
+            ~line:3010;
+          store "A2b" (reg "kvm" **-> "users") (Add (reg "u", cint 1))
+            ~func:"kvm_get_kvm" ~line:3010;
+          return "A_ret" ~func:"kvm_ioctl_create_device" ~line:3015 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "kvm0" ] "B" "close"
+      (Caselib.array_noise ~prefix:"B" ~buf:"kvm_cpustats" ~slots:16 ~iters:16
+      @ [ load "B1" "dev" (g "fd_table") ~func:"__fput" ~line:210;
+         branch_if "B1_chk" (Is_null (reg "dev")) "B_ret" ~func:"__fput"
+           ~line:211;
+         store "B2" (g "fd_table") cnull ~func:"__fput" ~line:212 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:7
+      @ [ free "B2b" (reg "dev") ~func:"kvm_device_release" ~line:3050;
+          load "B2c" "kvm" (g "kvm_ptr") ~func:"kvm_device_release" ~line:3051;
+          ref_put "B3" ~ret:"r" (reg "kvm" **-> "users")
+            ~func:"kvm_put_kvm" ~line:760;
+          branch_if "B4" (Gt (reg "r", cint 0)) "B_ret" ~func:"kvm_put_kvm"
+            ~line:761;
+          free "B5" (reg "kvm") ~func:"kvm_destroy_vm" ~line:770;
+          return "B_ret" ~func:"__fput" ~line:220 ])
+  in
+  Ksim.Program.group ~name:"cve-2019-6974"
+    ~globals:
+      ([ ("kvm_cpustats", Ksim.Value.Null); ("kvm_ptr", Ksim.Value.Null); ("fd_table", Ksim.Value.Null) ]
+      @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "cve-2019-6974";
+    subsystem = "KVM";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ]
+        ~extra:[ ("X", "ioctl_kvm_run") ]
+        ~symptom:"KASAN: use-after-free" ~location:"A2" ~subsystem:"KVM" () }
+
+let bug : Bug.t =
+  { id = "cve-2019-6974";
+    source = Bug.Cve "CVE-2019-6974";
+    subsystem = "KVM";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Multi_loose;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 103.8; p_lifs_scheds = 664; p_interleavings = 1;
+          p_ca_time = 1183.8; p_ca_scheds = 688; p_chain_races = None };
+    max_interleavings = None;
+    description =
+      "Device fd published before the kvm reference is taken; a \
+       concurrent close drops the last reference and frees kvm (loosely \
+       correlated VFS / KVM objects).";
+    case }

@@ -1,0 +1,81 @@
+(* Extension case — the hardware-IRQ future work of the paper's §4.6:
+   "we believe that AITIA is able to diagnose such concurrent bugs if
+   the AITIA hypervisor injects an IRQ through the VT-x mechanism as is
+   done for system calls."
+
+   A NIC driver's close path frees the receive buffer while the RX
+   interrupt handler — enabled earlier by the open path — can still fire
+   and write into it.  The handler is a true hardware-IRQ context: once
+   injected it runs to completion (the controller refuses to preempt
+   it).
+
+     B (open/up)                A (close/down)          RX IRQ handler
+     B1  rxbuf_ptr = buf        A1  b = rxbuf_ptr       I1  b = rxbuf_ptr
+     B2  enable_irq(rx)         A1c if (!b) return      I1c if (!b) return
+                                A2  rxbuf_ptr = NULL    I2  b->len = n  <- UAF
+                                A3  kfree(b)
+
+   Chain: (B1 => A1) --> (A3 => I2) --> use-after-free, across the
+   hardware-interrupt boundary. *)
+
+open Ksim.Program.Build
+
+let counters = [ "nic_stat_rx"; "nic_stat_irqs" ]
+
+let group =
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "eth0" ] "B" "ifup"
+      (Caselib.noise ~prefix:"B" ~counters ~iters:6
+      @ [ alloc "B0" "buf" "rx_ring" ~fields:[ ("len", cint 0) ]
+            ~func:"nic_open" ~line:510;
+          store "B1" (g "rxbuf_ptr") (reg "buf") ~func:"nic_open" ~line:515;
+          enable_irq "B2" "nic_rx_irq" ~func:"nic_open" ~line:520 ])
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "eth0" ] "A" "ifdown"
+      (Caselib.noise ~prefix:"A" ~counters ~iters:6
+      @ [ load "A1" "b" (g "rxbuf_ptr") ~func:"nic_close" ~line:610;
+          branch_if "A1_chk" (Is_null (reg "b")) "A_ret" ~func:"nic_close"
+            ~line:611;
+          store "A2" (g "rxbuf_ptr") cnull ~func:"nic_close" ~line:615;
+          free "A3" (reg "b") ~func:"nic_close" ~line:620;
+          return "A_ret" ~func:"nic_close" ~line:630 ])
+  in
+  let rx_irq =
+    Caselib.entry "nic_rx_irq"
+      [ load "I1" "b" (g "rxbuf_ptr") ~func:"nic_rx_interrupt" ~line:700;
+        branch_if "I1_chk" (Is_null (reg "b")) "I_ret"
+          ~func:"nic_rx_interrupt" ~line:701;
+        store "I2" (reg "b" **-> "len") (cint 64) ~func:"nic_rx_interrupt"
+          ~line:705;
+        return "I_ret" ~func:"nic_rx_interrupt" ~line:710 ]
+  in
+  Ksim.Program.group ~name:"ext-irq-nic" ~entries:[ rx_irq ]
+    ~globals:([ ("rxbuf_ptr", Ksim.Value.Null) ] @ Caselib.noise_globals counters)
+    [ thread_b; thread_a ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "ext-irq-nic";
+    subsystem = "Network driver";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "read") ]
+        ~symptom:"KASAN: use-after-free" ~location:"I2"
+        ~subsystem:"Network driver" () }
+
+let bug : Bug.t =
+  { id = "ext-irq";
+    source = Bug.Extension "hardware IRQ contexts (paper Sec. 4.6 future work)";
+    subsystem = "Network driver";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Single;
+    fixed_at_eval = false;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = true };
+    paper = None;
+    max_interleavings = None;
+    description =
+      "ifdown frees the RX ring while the enabled NIC interrupt handler \
+       can still fire and write into it (hardware-IRQ context).";
+    case }

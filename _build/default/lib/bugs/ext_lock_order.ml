@@ -1,0 +1,72 @@
+(* Extension case — unintended execution order of critical sections.
+
+   §3.4's liveness rule says Causality Analysis must flip a lock-protected
+   critical section as a unit, "because the execution order of critical
+   sections may contribute to the failure"; the related-work section adds
+   that plain race detectors "cannot inspect the unintended execution
+   order of critical sections".  This case manifests exactly that bug:
+   both racing accesses are correctly lock-protected — there is no data
+   race in the KCSAN sense — yet running the consumer's critical section
+   before the initializer's dereferences an unpublished pointer.
+
+     A (ioctl init)                  B (read)
+     A1  lock(dev)                   B1  lock(dev)
+     A2  obj = kmalloc()             B2  o = dev_obj
+     A3  dev_obj = obj               B3  unlock(dev)
+     A4  unlock(dev)                 B4  o->state     <- NULL deref
+
+   Chain: (B2 => A3) --> NULL deref, where the flip of B2 => A3 moves the
+   whole B critical section after A's. *)
+
+open Ksim.Program.Build
+
+let counters = [ "dev_stat_opens" ]
+
+let group =
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "dev9" ] "A" "ioctl_init"
+      (Caselib.noise ~prefix:"A" ~counters ~iters:5
+      @ [ lock "A1" "dev_lock" ~func:"dev_init" ~line:200;
+          alloc "A2" "obj" "dev_state" ~fields:[ ("state", cint 1) ]
+            ~func:"dev_init" ~line:205;
+          store "A3" (g "dev_obj") (reg "obj") ~func:"dev_init" ~line:210;
+          unlock "A4" "dev_lock" ~func:"dev_init" ~line:215 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "dev9" ] "B" "read"
+      (Caselib.noise ~prefix:"B" ~counters ~iters:5
+      @ [ lock "B1" "dev_lock" ~func:"dev_read" ~line:300;
+          load "B2" "o" (g "dev_obj") ~func:"dev_read" ~line:305;
+          unlock "B3" "dev_lock" ~func:"dev_read" ~line:310;
+          (* The missing NULL check: the author assumed init runs first. *)
+          load "B4" "st" (reg "o" **-> "state") ~func:"dev_read" ~line:315 ])
+  in
+  Ksim.Program.group ~name:"ext-lock-order" ~locks:[ "dev_lock" ]
+    ~globals:([ ("dev_obj", Ksim.Value.Null) ] @ Caselib.noise_globals counters)
+    [ thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "ext-lock-order";
+    subsystem = "Char device";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "poll") ]
+        ~symptom:"null-ptr-deref" ~location:"B4" ~subsystem:"Char device" () }
+
+let bug : Bug.t =
+  { id = "ext-lock";
+    source = Bug.Extension "critical-section order (paper Sec. 3.4 liveness)";
+    subsystem = "Char device";
+    bug_type = Bug.Null_dereference;
+    variables = Bug.Single;
+    fixed_at_eval = false;
+    expectation =
+      { exp_interleavings = 0; exp_chain_races = Some 1;
+        exp_ambiguous = false; exp_kthread = false };
+    paper = None;
+    max_interleavings = None;
+    description =
+      "Both accesses are lock-protected — no data race — but the \
+       consumer's critical section may run before the initializer's; \
+       Causality Analysis flips the whole critical section as a unit.";
+    case }

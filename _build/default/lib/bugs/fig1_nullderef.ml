@@ -1,0 +1,65 @@
+(* Figure 1: the abstract multi-variable example.
+
+       Thread A                Thread B
+       A1  ptr_valid = 1;      B1  if (ptr_valid == 0) return;
+       A2  local = *ptr;       B2  ptr = NULL;
+
+   Initial ptr_valid = 0; ptr points to a live object.  The failing
+   sequence A1 => B1 => B2 => A2 dereferences NULL at A2; the causality
+   chain is (A1 => B1) --> (B2 => A2) --> NULL deref. *)
+
+open Ksim.Program.Build
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "dev0" ] "init" "open"
+      [ alloc "I1" "obj" "device" ~fields:[ ("data", cint 42) ]
+          ~func:"dev_open" ~line:10;
+        store "I2" (g "ptr") (reg "obj") ~func:"dev_open" ~line:11;
+        store "I3" (g "ptr_valid") (cint 0) ~func:"dev_open" ~line:12 ]
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "dev0" ] "A" "ioctl_enable"
+      [ store "A1" (g "ptr_valid") (cint 1) ~func:"dev_enable" ~line:20;
+        load "A2" "p" (g "ptr") ~func:"dev_enable" ~line:21;
+        load "A2_deref" "local" (reg "p" **-> "data") ~func:"dev_enable"
+          ~line:21 ]
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "dev0" ] "B" "ioctl_reset"
+      [ load "B1" "pv" (g "ptr_valid") ~func:"dev_reset" ~line:30;
+        branch_if "B1_chk" (Eq (reg "pv", cint 0)) "B_ret" ~func:"dev_reset"
+          ~line:30;
+        store "B2" (g "ptr") cnull ~func:"dev_reset" ~line:31;
+        return "B_ret" ~func:"dev_reset" ~line:32 ]
+  in
+  Ksim.Program.group ~name:"fig1"
+    ~globals:[ ("ptr", Ksim.Value.Null); ("ptr_valid", Ksim.Value.Int 0) ]
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "fig1-nullderef";
+    subsystem = "example";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ]
+        ~extra:[ ("X", "getpid"); ("Y", "read") ]
+        ~symptom:"null-ptr-deref" ~location:"A2_deref" ~subsystem:"example" () }
+
+let bug : Bug.t =
+  { id = "fig1";
+    source = Bug.Figure "Figure 1";
+    subsystem = "example";
+    bug_type = Bug.Null_dereference;
+    variables = Bug.Multi;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = false };
+    paper = None;
+    max_interleavings = None;
+    description =
+      "Abstract two-variable example: a race-steered control flow on \
+       ptr_valid enables a NULL store that a concurrent dereference trips \
+       over.";
+    case }

@@ -1,0 +1,75 @@
+(* Figure 4-(b): "even a single system call can race with kernel
+   background threads resulting in a failure."
+
+   One system call queues a flush work item and hands the same object to
+   an RCU reclaim callback; the failure is a race entirely between the
+   two background contexts the call itself created:
+
+     Syscall A                kworkerd W            RCU callback R
+     A1  obj = kmalloc()
+     A2  dev = obj
+     A3  queue_work(flush)    W1  obj->data = 1
+     A4  call_rcu(reclaim)                          R1  kfree(obj)
+     A5  v = obj->data
+
+   If R1 => W1, the flush work writes into freed memory.
+   Chain: (R1 => W1) --> use-after-free; the A5 => R1 pointer race is
+   benign (flipping it merely turns the write-UAF into a read-UAF). *)
+
+open Ksim.Program.Build
+
+let counters = [ "wq_stat_flushes" ]
+
+let group =
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "dev4" ] "A" "ioctl_flush"
+      (Caselib.noise ~prefix:"A" ~counters ~iters:5
+      @ [ alloc "A1" "obj" "flush_req" ~fields:[ ("data", cint 0) ]
+            ~func:"dev_ioctl_flush" ~line:420;
+          store "A2" (g "dev_req") (reg "obj") ~func:"dev_ioctl_flush"
+            ~line:421;
+          queue_work "A3" "flush_work" ~arg:(reg "obj")
+            ~func:"dev_ioctl_flush" ~line:425;
+          call_rcu "A4" "reclaim_cb" ~arg:(reg "obj")
+            ~func:"dev_ioctl_flush" ~line:430;
+          load "A5" "v" (reg "obj" **-> "data") ~func:"dev_ioctl_flush"
+            ~line:435 ])
+  in
+  let flush_work =
+    Caselib.entry "flush_work"
+      [ store "W1" (reg "arg" **-> "data") (cint 1) ~func:"flush_work_fn"
+          ~line:500 ]
+  in
+  let reclaim =
+    Caselib.entry "reclaim_cb"
+      [ free "R1" (reg "arg") ~func:"reclaim_rcu" ~line:510 ]
+  in
+  Ksim.Program.group ~name:"fig4b" ~entries:[ flush_work; reclaim ]
+    ~globals:([ ("dev_req", Ksim.Value.Null) ] @ Caselib.noise_globals counters)
+    [ thread_a ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "fig4b-single-syscall";
+    subsystem = "example";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "fsync") ]
+        ~symptom:"KASAN: use-after-free" ~location:"W1" ~subsystem:"example"
+        () }
+
+let bug : Bug.t =
+  { id = "fig4b";
+    source = Bug.Figure "Figure 4-(b)";
+    subsystem = "example";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Single;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 1;
+        exp_ambiguous = false; exp_kthread = true };
+    paper = None;
+    max_interleavings = None;
+    description =
+      "A single system call whose own kworkerd flush and RCU reclaim race \
+       with each other — the Figure 4-(b) pattern.";
+    case }

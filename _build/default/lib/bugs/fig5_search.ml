@@ -1,0 +1,73 @@
+(* Figure 5 — the LIFS search-tree example.
+
+   Thread A touches M1, M2, M3; thread B touches M1, M2 and — only when
+   the race-steered control flow A1 => B1 makes it see M1 set — queues a
+   kernel work item K whose K1 frees the object A3 is about to read:
+
+     A1 store M1      B1 load M1            K1 kfree(obj)
+     A2 store M2      B3 if (M1) queue K
+     A3 load obj->f   B2 store M2
+
+   If K1 => A3 then A3 fails (use-after-free).  LIFS reproduces it at
+   interleaving count 1 by preempting A after A1 (search order 4 in the
+   figure). *)
+
+open Ksim.Program.Build
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "f0" ] "init" "open"
+      [ alloc "I1" "o" "object" ~fields:[ ("f", cint 5) ] ~func:"setup"
+          ~line:10;
+        store "I2" (g "obj_ptr") (reg "o") ~func:"setup" ~line:11 ]
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "f0" ] "A" "syscall_a"
+      [ store "A1" (g "m1") (cint 1) ~func:"sys_a" ~line:20;
+        store "A2" (g "m2") (cint 1) ~func:"sys_a" ~line:21;
+        load "A3" "p" (g "obj_ptr") ~func:"sys_a" ~line:22;
+        load "A3_deref" "x" (reg "p" **-> "f") ~func:"sys_a" ~line:22 ]
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "f0" ] "B" "syscall_b"
+      [ load "B1" "r1" (g "m1") ~func:"sys_b" ~line:30;
+        branch_if "B1_chk" (Eq (reg "r1", cint 0)) "B2" ~func:"sys_b"
+          ~line:31;
+        load "B3_ld" "p" (g "obj_ptr") ~func:"sys_b" ~line:32;
+        queue_work "B3" "work_k" ~arg:(reg "p") ~func:"sys_b" ~line:32;
+        store "B2" (g "m2") (cint 2) ~func:"sys_b" ~line:33 ]
+  in
+  let work_k =
+    Caselib.entry "work_k" [ free "K1" (reg "arg") ~func:"work_k" ~line:40 ]
+  in
+  Ksim.Program.group ~name:"fig5" ~entries:[ work_k ]
+    ~globals:
+      [ ("m1", Ksim.Value.Int 0); ("m2", Ksim.Value.Int 0);
+        ("obj_ptr", Ksim.Value.Null) ]
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "fig5-search";
+    subsystem = "example";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ]
+        ~symptom:"KASAN: use-after-free" ~location:"A3_deref"
+        ~subsystem:"example" () }
+
+let bug : Bug.t =
+  { id = "fig5";
+    source = Bug.Figure "Figure 5";
+    subsystem = "example";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Multi;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = true };
+    paper = None;
+    max_interleavings = None;
+    description =
+      "Three-context search example: a race-steered control flow invokes \
+       a kernel work item whose kfree races with a subsequent read.";
+    case }

@@ -1,0 +1,55 @@
+(* Figure 7 — a nested data race inside a surrounding one.
+
+     Thread A            Thread B
+     A1 store M1 = 1     B1 load M2
+     A2 store M2 = 1     B2 load M1
+                         B3 BUG_ON(B1 && B2 saw both set)
+
+   Races: A1 => B2 on M1 (surrounding) and A2 => B1 on M2 (nested).
+   Flipping either avoids the failure, so both are root causes — and
+   Causality Analysis must report the surrounding race as ambiguous: its
+   flip could not preserve the nested order (§3.4, "Ambiguity"). *)
+
+open Ksim.Program.Build
+
+let group =
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "s0" ] "A" "syscall_a"
+      [ store "A1" (g "m1") (cint 1) ~func:"sys_a" ~line:20;
+        store "A2" (g "m2") (cint 1) ~func:"sys_a" ~line:21 ]
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "s0" ] "B" "syscall_b"
+      [ load "B1" "r1" (g "m2") ~func:"sys_b" ~line:30;
+        load "B2" "r2" (g "m1") ~func:"sys_b" ~line:31;
+        bug_on "B3" (And (reg "r1", reg "r2")) ~func:"sys_b" ~line:32 ]
+  in
+  Ksim.Program.group ~name:"fig7"
+    ~globals:[ ("m1", Ksim.Value.Int 0); ("m2", Ksim.Value.Int 0) ]
+    [ thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "fig7-nested";
+    subsystem = "example";
+    group;
+    history =
+      Caselib.history ~group ~symptom:"kernel BUG (BUG_ON)" ~location:"B3"
+        ~subsystem:"example" () }
+
+let bug : Bug.t =
+  { id = "fig7";
+    source = Bug.Figure "Figure 7";
+    subsystem = "example";
+    bug_type = Bug.Assertion_violation;
+    variables = Bug.Multi;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 0; exp_chain_races = Some 1;
+        exp_ambiguous = true; exp_kthread = false };
+    paper = None;
+    max_interleavings = None;
+    description =
+      "A data race surrounding a nested race: flipping the outer race \
+       necessarily flips the inner one, making the outer verdict \
+       ambiguous.";
+    case }

@@ -1,0 +1,69 @@
+(* Figure 9 — the irqfd case study (bug #4's shape).
+
+     Syscall A                  Syscall B                kworkerd
+     A1  list_add(irqfd, list)  B1  irqfd = list_find()
+     A2  irqfd->data = data     B2  queue_work()         K1  kfree(irqfd)
+
+   A1/A2 are one initialization that must be atomic; the A1 => B1 race
+   steers B into queueing the shutdown work, whose kfree races with the
+   unfinished initialization: (A1 => B1) --> (K1 => A2) --> UAF.  The
+   causality crosses a thread boundary (the freeing instruction runs in a
+   kernel background thread invoked by B). *)
+
+open Ksim.Program.Build
+
+let group =
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "kvm0" ] "A" "ioctl_irqfd_assign"
+      [ alloc "A0" "irqfd" "kvm_kernel_irqfd"
+          ~fields:[ ("data", cint 0) ] ~func:"kvm_irqfd_assign" ~line:300;
+        list_add "A1" (g "irqfd_list") (reg "irqfd") ~func:"kvm_irqfd_assign"
+          ~line:310;
+        store "A2" (reg "irqfd" **-> "data") (cint 7)
+          ~func:"kvm_irqfd_assign" ~line:315 ]
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "kvm0" ] "B" "ioctl_irqfd_deassign"
+      [ list_first "B1" "victim" (g "irqfd_list")
+          ~func:"kvm_irqfd_deassign" ~line:400;
+        branch_if "B1_chk" (Is_null (reg "victim")) "B_ret"
+          ~func:"kvm_irqfd_deassign" ~line:401;
+        list_del "B1_del" (g "irqfd_list") (reg "victim")
+          ~func:"kvm_irqfd_deassign" ~line:402;
+        queue_work "B2" "irqfd_shutdown" ~arg:(reg "victim")
+          ~func:"kvm_irqfd_deassign" ~line:403;
+        return "B_ret" ~func:"kvm_irqfd_deassign" ~line:410 ]
+  in
+  let shutdown =
+    Caselib.entry "irqfd_shutdown"
+      [ free "K1" (reg "arg") ~func:"irqfd_shutdown" ~line:120 ]
+  in
+  Ksim.Program.group ~name:"fig9-irqfd"
+    ~entries:[ shutdown ]
+    ~globals:[ ("irqfd_list", Ksim.Value.List []) ]
+    [ thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "fig9-irqfd";
+    subsystem = "KVM";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "ioctl_kvm_run") ]
+        ~symptom:"KASAN: use-after-free" ~location:"A2" ~subsystem:"KVM" () }
+
+let bug : Bug.t =
+  { id = "fig9";
+    source = Bug.Figure "Figure 9";
+    subsystem = "KVM";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Multi_loose;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = true };
+    paper = None;
+    max_interleavings = None;
+    description =
+      "Unfinished initialization races with a kfree performed by a \
+       kworkerd shutdown work queued from a second system call.";
+    case }

@@ -1,0 +1,28 @@
+(* Lookup for the modeled bug corpus. *)
+
+let figures : Bug.t list =
+  [ Fig1_nullderef.bug; Fig4_single_syscall.bug; Fig5_search.bug;
+    Fig7_nested.bug; Fig9_irqfd.bug ]
+
+let cves : Bug.t list =
+  [ Cve_2019_11486.bug; Cve_2019_6974.bug; Cve_2018_12232.bug;
+    Cve_2017_15649.bug; Cve_2017_10661.bug; Cve_2017_7533.bug;
+    Cve_2017_2671.bug; Cve_2017_2636.bug; Cve_2016_10200.bug;
+    Cve_2016_8655.bug ]
+
+let syzkaller : Bug.t list =
+  [ Syz_01_l2tp_oob.bug; Syz_02_packet_assert.bug; Syz_03_l2tp_uaf.bug;
+    Syz_04_kvm_irqfd.bug; Syz_05_rxrpc_uaf.bug; Syz_06_bpf_gpf.bug;
+    Syz_07_blkdev_uaf.bug; Syz_08_can_j1939.bug; Syz_09_seccomp_leak.bug;
+    Syz_10_md_assert.bug; Syz_11_floppy_warn.bug; Syz_12_bluetooth_uaf.bug ]
+
+(* Extension cases beyond the paper's evaluation: the hardware-IRQ
+   future work of its Sec. 4.6 and the critical-section-order class its
+   Sec. 3.4 liveness rule exists for. *)
+let extensions : Bug.t list = [ Ext_irq_nic.bug; Ext_lock_order.bug ]
+
+let all : Bug.t list = figures @ cves @ syzkaller @ extensions
+
+let find id = List.find_opt (fun (b : Bug.t) -> String.equal b.id id) all
+
+let ids () = List.map (fun (b : Bug.t) -> b.id) all

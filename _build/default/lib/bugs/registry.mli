@@ -1,0 +1,19 @@
+(** Lookup for the modeled bug corpus. *)
+
+val figures : Bug.t list
+(** The paper's worked examples: Figures 1, 5, 7, 9. *)
+
+val cves : Bug.t list
+(** The 10 CVEs of Table 2, in table order. *)
+
+val syzkaller : Bug.t list
+(** The 12 Syzkaller failures of Table 3, in table order. *)
+
+val extensions : Bug.t list
+(** Cases beyond the paper's evaluation: hardware-IRQ contexts (its
+    §4.6 future work) and critical-section-order bugs. *)
+
+val all : Bug.t list
+
+val find : string -> Bug.t option
+val ids : unit -> string list

@@ -1,0 +1,109 @@
+(* Syzkaller bug #1 — "KASAN: slab-out-of-bounds in pppol2tp_connect"
+   (L2TP, multi-variable with loosely correlated objects).
+
+   The connect path caches the tunnel's session index and uses it to
+   index the session array, while a concurrent tunnel reconfiguration
+   grows the index past the array bound.  The correlated state lives in
+   two different objects: the pppox socket's `connecting` flag and the
+   l2tp tunnel's `idx` — accessed together only on this path (loosely
+   correlated, §2.2):
+
+     A (pppol2tp_connect)            B (tunnel setsockopt)
+     A1  connecting = 1              B1  if (connecting) return
+     A2  i = tunnel->idx             B2  tunnel->idx = 6
+     A4  sessions[i] = s             <- OOB when B2 => A2
+
+   Chain: (B1 => A1)... i.e. (A1 => B1 flipped view) and (B2 => A2). *)
+
+open Ksim.Program.Build
+
+let counters = [ "l2tp_stat_pkts"; "l2tp_stat_conns"; "ppp_stat_units" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "tun1" ] "init" "socket"
+      ([ alloc "I1" "t" "l2tp_tunnel" ~fields:[ ("idx", cint 2) ]
+          ~func:"l2tp_tunnel_create" ~line:1500;
+        store "I2" (g "tunnel_ptr") (reg "t") ~func:"l2tp_tunnel_create"
+          ~line:1501;
+        alloc "I3" "sess" "session_array" ~slots:4
+          ~func:"l2tp_tunnel_create" ~line:1502;
+        store "I4" (g "sessions_ptr") (reg "sess")
+          ~func:"l2tp_tunnel_create" ~line:1503 ]
+      @ Caselib.array_noise_setup ~prefix:"I" ~buf:"l2tp_cpustats" ~slots:16)
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "tun1" ] "A" "connect"
+      (Caselib.array_noise ~prefix:"A" ~buf:"l2tp_cpustats" ~slots:16 ~iters:16
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:10
+      @ [ store "A1" (g "connecting") (cint 1) ~func:"pppol2tp_connect"
+            ~line:720 ]
+      @ Caselib.filler ~prefix:"A" 14
+      @ [ load "A2_ld" "t" (g "tunnel_ptr") ~func:"pppol2tp_connect" ~line:721;
+          load "A2" "i" (reg "t" **-> "idx") ~func:"pppol2tp_connect" ~line:722;
+          load "A3" "sess" (g "sessions_ptr") ~func:"pppol2tp_connect"
+            ~line:730;
+          store "A4" (reg "sess" **@ reg "i") (cint 1)
+            ~func:"pppol2tp_connect" ~line:731;
+          store "A5" (g "connecting") (cint 0) ~func:"pppol2tp_connect"
+            ~line:740 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "tun1" ] "B" "setsockopt"
+      (Caselib.array_noise ~prefix:"B" ~buf:"l2tp_cpustats" ~slots:16 ~iters:16
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:10
+      @ [ load "B1" "c" (g "connecting") ~func:"l2tp_tunnel_setsockopt"
+            ~line:1620;
+          branch_if "B1_chk" (Ne (reg "c", cint 0)) "B_ret"
+            ~func:"l2tp_tunnel_setsockopt" ~line:1621 ]
+      @ Caselib.filler ~prefix:"B" 14
+      @ [ load "B2_ld" "t" (g "tunnel_ptr") ~func:"l2tp_tunnel_setsockopt"
+            ~line:1630;
+          store "B2" (reg "t" **-> "idx") (cint 6)
+            ~func:"l2tp_tunnel_setsockopt" ~line:1631;
+          (* The grown index is only valid once the array is reallocated:
+             the (idx, sessions) pair is updated non-atomically. *)
+          alloc "B3" "bigger" "session_array" ~slots:8
+            ~func:"l2tp_tunnel_setsockopt" ~line:1632;
+          store "B4" (g "sessions_ptr") (reg "bigger")
+            ~func:"l2tp_tunnel_setsockopt" ~line:1633;
+          return "B_ret" ~func:"l2tp_tunnel_setsockopt" ~line:1640 ])
+  in
+  Ksim.Program.group ~name:"syz-01-l2tp-oob"
+    ~globals:
+      ([ ("l2tp_cpustats", Ksim.Value.Null); ("connecting", Ksim.Value.Int 0); ("tunnel_ptr", Ksim.Value.Null);
+         ("sessions_ptr", Ksim.Value.Null) ]
+      @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-01-l2tp-oob";
+    subsystem = "L2TP";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "getsockname") ]
+        ~symptom:"KASAN: slab-out-of-bounds" ~location:"A4"
+        ~subsystem:"L2TP" () }
+
+let bug : Bug.t =
+  { id = "syz-01";
+    source =
+      Bug.Syzkaller
+        { index = 1; title = "KASAN: slab-out-of-bounds in pppol2tp_connect" };
+    subsystem = "L2TP";
+    bug_type = Bug.Slab_out_of_bounds;
+    variables = Bug.Multi_loose;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 3;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 165.7; p_lifs_scheds = 751; p_interleavings = 1;
+          p_ca_time = 251.3; p_ca_scheds = 236; p_chain_races = Some 2 };
+    max_interleavings = None;
+    description =
+      "Tunnel reconfiguration grows the session index between connect's \
+       read of tunnel->idx and the array store (loosely correlated \
+       socket/tunnel objects).";
+    case }

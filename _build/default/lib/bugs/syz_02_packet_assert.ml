@@ -1,0 +1,83 @@
+(* Syzkaller bug #2 — "assertion violation in packet_lookup_frame"
+   (Packet socket, single variable).
+
+   The ring-frame status word is a little state machine ping-ponged
+   between the transmit and receive paths; each side's control flow is
+   steered by the value the other just wrote.  The failure needs a
+   tightly alternating schedule (the deepest search in our corpus) and
+   its causality chain strings several races on the single variable:
+
+     A (tpacket_snd)                  B (tpacket_rcv)
+     A1  status = SEND_REQUEST(1)     B1  if (status != 1) return
+     A2  if (status != 2) return      B2  status = SENDING(2)
+     A3  status = AVAILABLE(3)        B3  if (status != 3) return
+     A4  BUG_ON(status == 4)          B4  status = USER(4)
+
+   Chain: (A1 => B1) --> (B2 => A2) --> (A3 => B3) --> (B4 => A4). *)
+
+open Ksim.Program.Build
+
+let counters = [ "pkt_ring_frames" ]
+
+let group =
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "ring2" ] "A" "sendmsg"
+      ([ store "A1" (g "tp_status") (cint 1) ~func:"tpacket_snd" ~line:2700 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:4
+      @ [ load "A2" "s" (g "tp_status") ~func:"tpacket_snd" ~line:2710;
+          branch_if "A2_chk" (Ne (reg "s", cint 2)) "A_ret"
+            ~func:"tpacket_snd" ~line:2711;
+          store "A3" (g "tp_status") (cint 3) ~func:"tpacket_snd" ~line:2715;
+          load "A4_ld" "s2" (g "tp_status") ~func:"packet_lookup_frame"
+            ~line:2720;
+          bug_on "A4" (Eq (reg "s2", cint 4)) ~func:"packet_lookup_frame"
+            ~line:2721;
+          return "A_ret" ~func:"tpacket_snd" ~line:2730 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "ring2" ] "B" "recvmsg"
+      ([ load "B1" "s" (g "tp_status") ~func:"tpacket_rcv" ~line:2200;
+         branch_if "B1_chk" (Ne (reg "s", cint 1)) "B_ret" ~func:"tpacket_rcv"
+           ~line:2201 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:4
+      @ [ store "B2" (g "tp_status") (cint 2) ~func:"tpacket_rcv" ~line:2210;
+          load "B3" "s2" (g "tp_status") ~func:"tpacket_rcv" ~line:2215;
+          branch_if "B3_chk" (Ne (reg "s2", cint 3)) "B_ret"
+            ~func:"tpacket_rcv" ~line:2216;
+          store "B4" (g "tp_status") (cint 4) ~func:"tpacket_rcv" ~line:2220;
+          return "B_ret" ~func:"tpacket_rcv" ~line:2230 ])
+  in
+  Ksim.Program.group ~name:"syz-02-packet-assert"
+    ~globals:([ ("tp_status", Ksim.Value.Int 0) ] @ Caselib.noise_globals counters)
+    [ thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-02-packet-assert";
+    subsystem = "Packet socket";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "poll") ]
+        ~symptom:"kernel BUG (BUG_ON)" ~location:"A4"
+        ~subsystem:"Packet socket" () }
+
+let bug : Bug.t =
+  { id = "syz-02";
+    source =
+      Bug.Syzkaller
+        { index = 2; title = "assertion violation in packet_lookup_frame" };
+    subsystem = "Packet socket";
+    bug_type = Bug.Assertion_violation;
+    variables = Bug.Single;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 3; exp_chain_races = Some 4;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 318.0; p_lifs_scheds = 133; p_interleavings = 1;
+          p_ca_time = 1152.0; p_ca_scheds = 471; p_chain_races = Some 4 };
+    max_interleavings = Some 3;
+    description =
+      "Frame-status state machine ping-ponged between transmit and \
+       receive; a tight alternation drives it to the asserting state.";
+    case }

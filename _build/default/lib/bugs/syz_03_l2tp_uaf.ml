@@ -1,0 +1,96 @@
+(* Syzkaller bug #3 — "KASAN: use-after-free Read in pppol2tp_connect"
+   (L2TP, multi-variable).
+
+   The connect path checks the tunnel's session count and then uses the
+   session pointer; teardown clears count, pointer and frees the session
+   as three separate steps:
+
+     A (pppol2tp_connect)            B (l2tp_session_delete)
+     A1  if (session_count == 0) ret B1  session_count = 0
+     A2  s = session_ptr             B2  session_ptr = NULL
+     A2c if (!s) return              B3  kfree(s)
+     A3  s->refcnt ...    <- UAF
+
+   Chain: (A1 => B1) --> (A2 => B2) --> (B3 => A3) --> use-after-free. *)
+
+open Ksim.Program.Build
+
+let counters = [ "l2tp_stat_sess"; "l2tp_stat_del" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "tun3" ] "init" "socket"
+      ([ alloc "I1" "s" "l2tp_session" ~fields:[ ("refcnt", cint 1) ]
+          ~func:"l2tp_session_create" ~line:1660;
+        store "I2" (g "session_ptr") (reg "s") ~func:"l2tp_session_create"
+          ~line:1661;
+        store "I3" (g "session_count") (cint 1) ~func:"l2tp_session_create"
+          ~line:1662 ]
+      @ Caselib.array_noise_setup ~prefix:"I" ~buf:"l2tp3_cpustats" ~slots:16)
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "tun3" ] "A" "connect"
+      (Caselib.array_noise ~prefix:"A" ~buf:"l2tp3_cpustats" ~slots:16 ~iters:16
+      @ [ load "A1" "cnt" (g "session_count") ~func:"pppol2tp_connect"
+           ~line:750;
+         branch_if "A1_chk" (Eq (reg "cnt", cint 0)) "A_ret"
+           ~func:"pppol2tp_connect" ~line:751;
+         load "A2" "s" (g "session_ptr") ~func:"pppol2tp_connect" ~line:755;
+         branch_if "A2_chk" (Is_null (reg "s")) "A_ret"
+           ~func:"pppol2tp_connect" ~line:756 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:9
+      @ [ load "A3" "rc" (reg "s" **-> "refcnt") ~func:"pppol2tp_connect"
+            ~line:760;
+          return "A_ret" ~func:"pppol2tp_connect" ~line:770 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "tun3" ] "B" "close"
+      (Caselib.array_noise ~prefix:"B" ~buf:"l2tp3_cpustats" ~slots:16 ~iters:16
+      @ [ store "B1" (g "session_count") (cint 0)
+           ~func:"l2tp_session_delete" ~line:1720;
+         load "B1b" "s" (g "session_ptr") ~func:"l2tp_session_delete"
+           ~line:1721;
+         branch_if "B1_chk" (Is_null (reg "s")) "B_ret"
+           ~func:"l2tp_session_delete" ~line:1722 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:9
+      @ [ store "B2" (g "session_ptr") cnull ~func:"l2tp_session_delete"
+            ~line:1725;
+          free "B3" (reg "s") ~func:"l2tp_session_free" ~line:1730;
+          return "B_ret" ~func:"l2tp_session_delete" ~line:1740 ])
+  in
+  Ksim.Program.group ~name:"syz-03-l2tp-uaf"
+    ~globals:
+      ([ ("l2tp3_cpustats", Ksim.Value.Null); ("session_ptr", Ksim.Value.Null); ("session_count", Ksim.Value.Int 0) ]
+      @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-03-l2tp-uaf";
+    subsystem = "L2TP";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "recvmsg") ]
+        ~symptom:"KASAN: use-after-free" ~location:"A3" ~subsystem:"L2TP" () }
+
+let bug : Bug.t =
+  { id = "syz-03";
+    source =
+      Bug.Syzkaller
+        { index = 3;
+          title = "KASAN: use-after-free Read in pppol2tp_connect" };
+    subsystem = "L2TP";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Multi;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 3;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 65.8; p_lifs_scheds = 178; p_interleavings = 1;
+          p_ca_time = 1035.6; p_ca_scheds = 773; p_chain_races = Some 2 };
+    max_interleavings = None;
+    description =
+      "Teardown clears the correlated (count, pointer) pair and frees the \
+       session between connect's checks and its dereference.";
+    case }

@@ -1,0 +1,80 @@
+(* Syzkaller bug #4 — "KASAN: use-after-free Write in
+   irq_bypass_register_consumer" (KVM, loosely correlated, kworkerd).
+
+   The full model behind Figure 9's case study: irqfd assignment inserts
+   the consumer into the bypass list and keeps initializing it, while a
+   concurrent deassign hands the irqfd to the shutdown work whose kfree
+   lands in the middle of the initialization.  The list lives in the irq
+   bypass layer, the irqfd in KVM — loosely correlated objects — and the
+   freeing instruction runs in a kernel background thread.
+
+   Chain: (A1 => B1) --> (K1 => A2) --> use-after-free. *)
+
+open Ksim.Program.Build
+
+let counters = [ "kvm_stat_irqfd"; "kvm_stat_bypass"; "wq_stat_items" ]
+
+let group =
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "kvm4" ] "A" "ioctl_irqfd_assign"
+      (Caselib.noise ~prefix:"A" ~counters ~iters:8
+      @ [ alloc "A0" "irqfd" "kvm_kernel_irqfd"
+            ~fields:[ ("consumer", cint 0) ] ~func:"kvm_irqfd_assign"
+            ~line:300;
+          list_add "A1" (g "bypass_list") (reg "irqfd")
+            ~func:"irq_bypass_register_consumer" ~line:212;
+          store "A2" (reg "irqfd" **-> "consumer") (cint 1)
+            ~func:"irq_bypass_register_consumer" ~line:220 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "kvm4" ] "B" "ioctl_irqfd_deassign"
+      (Caselib.noise ~prefix:"B" ~counters ~iters:8
+      @ [ list_first "B1" "victim" (g "bypass_list")
+            ~func:"kvm_irqfd_deassign" ~line:400;
+          branch_if "B1_chk" (Is_null (reg "victim")) "B_ret"
+            ~func:"kvm_irqfd_deassign" ~line:401;
+          list_del "B1_del" (g "bypass_list") (reg "victim")
+            ~func:"kvm_irqfd_deassign" ~line:402;
+          queue_work "B2" "irqfd_shutdown" ~arg:(reg "victim")
+            ~func:"kvm_irqfd_deassign" ~line:403;
+          return "B_ret" ~func:"kvm_irqfd_deassign" ~line:410 ])
+  in
+  let shutdown =
+    Caselib.entry "irqfd_shutdown"
+      [ free "K1" (reg "arg") ~func:"irqfd_shutdown" ~line:120 ]
+  in
+  Ksim.Program.group ~name:"syz-04-kvm-irqfd" ~entries:[ shutdown ]
+    ~globals:([ ("bypass_list", Ksim.Value.List []) ] @ Caselib.noise_globals counters)
+    [ thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-04-kvm-irqfd";
+    subsystem = "KVM";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "ioctl_kvm_run") ]
+        ~symptom:"KASAN: use-after-free" ~location:"A2" ~subsystem:"KVM" () }
+
+let bug : Bug.t =
+  { id = "syz-04";
+    source =
+      Bug.Syzkaller
+        { index = 4;
+          title = "KASAN: use-after-free Write in irq_bypass_register_consumer" };
+    subsystem = "KVM";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Multi_loose;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = true };
+    paper =
+      Some
+        { p_lifs_time = 152.1; p_lifs_scheds = 503; p_interleavings = 1;
+          p_ca_time = 189.6; p_ca_scheds = 138; p_chain_races = Some 2 };
+    max_interleavings = None;
+    description =
+      "Deassign queues the shutdown work while assign is still \
+       initializing the consumer; the kworkerd kfree races with the \
+       initialization store.";
+    case }

@@ -1,0 +1,88 @@
+(* Syzkaller bug #5 — "KASAN: use-after-free Read in rxrpc_queue_local"
+   (RxRPC, single variable, RCU callback).
+
+   Socket teardown hands the local endpoint to an RCU callback for
+   freeing while the event path still queues work on it.  The chain is a
+   single race: the pointer-read race is benign (flipping it merely
+   turns the use-after-free into an equivalent NULL dereference), so
+   Causality Analysis reports exactly one root cause:
+
+     A (rxrpc event)                 B (release)          rcu callback
+     A1  local = local_ptr           B1  l = local_ptr
+     A2  local->usage ...  <- UAF    B2  local_ptr = NULL
+                                     B3  call_rcu(free)   K1 kfree(l)
+
+   Chain: (K1 => A2) --> use-after-free. *)
+
+open Ksim.Program.Build
+
+let counters = [ "rxrpc_stat_calls"; "rxrpc_stat_pkts" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "rx5" ] "init" "socket"
+      ([ alloc "I1" "l" "rxrpc_local" ~fields:[ ("usage", cint 1) ]
+          ~func:"rxrpc_lookup_local" ~line:250;
+        store "I2" (g "local_ptr") (reg "l") ~func:"rxrpc_lookup_local"
+          ~line:251 ]
+      @ Caselib.array_noise_setup ~prefix:"I" ~buf:"rxrpc_cpustats" ~slots:16)
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "rx5" ] "A" "sendmsg"
+      (Caselib.array_noise ~prefix:"A" ~buf:"rxrpc_cpustats" ~slots:16 ~iters:16
+      @ [ load "A1" "local" (g "local_ptr") ~func:"rxrpc_queue_local"
+           ~line:90 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:6
+      @ [ load "A2" "u" (reg "local" **-> "usage") ~func:"rxrpc_queue_local"
+            ~line:95 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "rx5" ] "B" "close"
+      (Caselib.array_noise ~prefix:"B" ~buf:"rxrpc_cpustats" ~slots:16 ~iters:16
+      @ [ load "B1" "l" (g "local_ptr") ~func:"rxrpc_release" ~line:900;
+         branch_if "B1_chk" (Is_null (reg "l")) "B_ret" ~func:"rxrpc_release"
+           ~line:901 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:6
+      @ [ store "B2" (g "local_ptr") cnull ~func:"rxrpc_release" ~line:905;
+          call_rcu "B3" "rxrpc_local_rcu" ~arg:(reg "l")
+            ~func:"rxrpc_release" ~line:906;
+          return "B_ret" ~func:"rxrpc_release" ~line:910 ])
+  in
+  let rcu_cb =
+    Caselib.entry "rxrpc_local_rcu"
+      [ free "K1" (reg "arg") ~func:"rxrpc_local_rcu" ~line:120 ]
+  in
+  Ksim.Program.group ~name:"syz-05-rxrpc-uaf" ~entries:[ rcu_cb ]
+    ~globals:([ ("rxrpc_cpustats", Ksim.Value.Null); ("local_ptr", Ksim.Value.Null) ] @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-05-rxrpc-uaf";
+    subsystem = "RxRPC";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "bind") ]
+        ~symptom:"KASAN: use-after-free" ~location:"A2" ~subsystem:"RxRPC" () }
+
+let bug : Bug.t =
+  { id = "syz-05";
+    source =
+      Bug.Syzkaller
+        { index = 5; title = "KASAN: use-after-free Read in rxrpc_queue_local" };
+    subsystem = "RxRPC";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Single;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 1;
+        exp_ambiguous = false; exp_kthread = true };
+    paper =
+      Some
+        { p_lifs_time = 45.7; p_lifs_scheds = 2; p_interleavings = 1;
+          p_ca_time = 930.4; p_ca_scheds = 405; p_chain_races = Some 1 };
+    max_interleavings = None;
+    description =
+      "Release path hands the local endpoint to an RCU callback whose \
+       kfree races with the event path's usage read; the pointer race is \
+       benign (it only changes the crash flavour).";
+    case }

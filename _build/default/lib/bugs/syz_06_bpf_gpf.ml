@@ -1,0 +1,93 @@
+(* Syzkaller bug #6 — "general protection fault in
+   dev_map_hash_update_elem" (BPF, multi-variable).
+
+   Update and release race on the correlated pair (map_active,
+   entry_ptr), with the same structure as CVE-2017-15649: the
+   multi-variable atomicity violation steers release into poisoning the
+   entry that update then dereferences:
+
+     A (update_elem)                 B (map_release)
+     A2  if (!map_active) return     B2   if (entry_ptr) return
+     A5  e = kmalloc()               B11  map_active = 0
+     A6  entry_ptr = e               B12  if (entry_ptr)
+     A8  q = entry_ptr               B13      entry_ptr = POISON
+     A9  q->val = 1   <- GPF
+
+   Chain: (A2 => B11) /\ (B2 => A6) --> (A6 => B12) --> (B13 => A8)
+   --> general protection fault. *)
+
+open Ksim.Program.Build
+
+let counters = [ "bpf_stat_lookups"; "bpf_stat_updates"; "bpf_stat_runs" ]
+
+let group =
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "map6" ] "A" "bpf_update_elem"
+      ([ load "A2" "act" (g "map_active") ~func:"dev_map_hash_update_elem"
+           ~line:620;
+         branch_if "A2_chk" (Eq (reg "act", cint 0)) "A_ret"
+           ~func:"dev_map_hash_update_elem" ~line:621;
+         alloc "A5" "e" "bpf_dtab_netdev" ~fields:[ ("val", cint 0) ]
+           ~func:"dev_map_hash_update_elem" ~line:630;
+         store "A6" (g "entry_ptr") (reg "e")
+           ~func:"dev_map_hash_update_elem" ~line:635 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:8
+      @ [ load "A8" "q" (g "entry_ptr") ~func:"dev_map_hash_update_elem"
+            ~line:640;
+          store "A9" (reg "q" **-> "val") (cint 1)
+            ~func:"dev_map_hash_update_elem" ~line:641;
+          return "A_ret" ~func:"dev_map_hash_update_elem" ~line:650 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "map6" ] "B" "close"
+      ([ load "B2" "p" (g "entry_ptr") ~func:"dev_map_free" ~line:720;
+         branch_if "B2_chk" (Not (Is_null (reg "p"))) "B_ret"
+           ~func:"dev_map_free" ~line:721 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:8
+      @ [ store "B11" (g "map_active") (cint 0) ~func:"dev_map_free"
+            ~line:725;
+          load "B12" "p2" (g "entry_ptr") ~func:"dev_map_free" ~line:726;
+          branch_if "B12_chk" (Is_null (reg "p2")) "B_ret"
+            ~func:"dev_map_free" ~line:727;
+          store "B13" (g "entry_ptr") (Const (Ksim.Value.Int 0xdead))
+            ~func:"dev_map_free" ~line:728;
+          return "B_ret" ~func:"dev_map_free" ~line:730 ])
+  in
+  Ksim.Program.group ~name:"syz-06-bpf-gpf"
+    ~globals:
+      ([ ("map_active", Ksim.Value.Int 1); ("entry_ptr", Ksim.Value.Null) ]
+      @ Caselib.noise_globals counters)
+    [ thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-06-bpf-gpf";
+    subsystem = "BPF";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "bpf_prog_run") ]
+        ~symptom:"general protection fault" ~location:"A9" ~subsystem:"BPF"
+        () }
+
+let bug : Bug.t =
+  { id = "syz-06";
+    source =
+      Bug.Syzkaller
+        { index = 6;
+          title = "general protection fault in dev_map_hash_update_elem" };
+    subsystem = "BPF";
+    bug_type = Bug.General_protection_fault;
+    variables = Bug.Multi;
+    fixed_at_eval = true;
+    expectation =
+      { exp_interleavings = 2; exp_chain_races = Some 4;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 755.0; p_lifs_scheds = 176; p_interleavings = 1;
+          p_ca_time = 988.0; p_ca_scheds = 388; p_chain_races = Some 4 };
+    max_interleavings = None;
+    description =
+      "Multi-variable atomicity violation on (map_active, entry_ptr) \
+       steering map teardown into poisoning the entry the update path \
+       dereferences.";
+    case }

@@ -1,0 +1,80 @@
+(* Syzkaller bug #7 — "KASAN: use-after-free Read in delete_partition"
+   (Block device, single variable).  Not fixed at evaluation time; the
+   fix (bdev_del_partition locking) was submitted before the report.
+
+     A (BLKPG del partition)         B (open partition)
+     A1  p = part_ptr                B1  q = part_ptr
+     A1c if (!p) return              B1c if (!q) return
+     A2  part_ptr = NULL             B2  q->bd_openers  <- UAF
+     A3  kfree(p)
+
+   Chain: (B1 => A2) --> (A3 => B2) --> use-after-free. *)
+
+open Ksim.Program.Build
+
+let counters = [ "blk_stat_ios"; "blk_stat_opens"; "blk_stat_parts" ]
+
+let group =
+  let init =
+    Caselib.syscall_thread ~resources:[ "blk7" ] "init" "open"
+      ([ alloc "I1" "p" "hd_struct" ~fields:[ ("bd_openers", cint 0) ]
+          ~func:"add_partition" ~line:330;
+        store "I2" (g "part_ptr") (reg "p") ~func:"add_partition" ~line:331 ]
+      @ Caselib.array_noise_setup ~prefix:"I" ~buf:"blk_cpustats" ~slots:16)
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "blk7" ] "A" "ioctl_blkpg"
+      (Caselib.array_noise ~prefix:"A" ~buf:"blk_cpustats" ~slots:16 ~iters:16
+      @ [ load "A1" "p" (g "part_ptr") ~func:"delete_partition" ~line:270;
+         branch_if "A1_chk" (Is_null (reg "p")) "A_ret"
+           ~func:"delete_partition" ~line:271 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:11
+      @ [ store "A2" (g "part_ptr") cnull ~func:"delete_partition" ~line:275;
+          free "A3" (reg "p") ~func:"delete_partition" ~line:280;
+          return "A_ret" ~func:"delete_partition" ~line:290 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "blk7" ] "B" "open_partition"
+      (Caselib.array_noise ~prefix:"B" ~buf:"blk_cpustats" ~slots:16 ~iters:16
+      @ [ load "B1" "q" (g "part_ptr") ~func:"blkdev_get_part" ~line:1540;
+         branch_if "B1_chk" (Is_null (reg "q")) "B_ret"
+           ~func:"blkdev_get_part" ~line:1541 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:11
+      @ [ load "B2" "openers" (reg "q" **-> "bd_openers")
+            ~func:"blkdev_get_part" ~line:1550;
+          return "B_ret" ~func:"blkdev_get_part" ~line:1560 ])
+  in
+  Ksim.Program.group ~name:"syz-07-blkdev-uaf"
+    ~globals:([ ("blk_cpustats", Ksim.Value.Null); ("part_ptr", Ksim.Value.Null) ] @ Caselib.noise_globals counters)
+    [ init; thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-07-blkdev-uaf";
+    subsystem = "Block device";
+    group;
+    history =
+      Caselib.history ~group ~setup:[ "init" ] ~extra:[ ("X", "fsync") ]
+        ~symptom:"KASAN: use-after-free" ~location:"B2"
+        ~subsystem:"Block device" () }
+
+let bug : Bug.t =
+  { id = "syz-07";
+    source =
+      Bug.Syzkaller
+        { index = 7; title = "KASAN: use-after-free Read in delete_partition" };
+    subsystem = "Block device";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Single;
+    fixed_at_eval = false;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 872.7; p_lifs_scheds = 231; p_interleavings = 1;
+          p_ca_time = 1575.0; p_ca_scheds = 523; p_chain_races = Some 4 };
+    max_interleavings = None;
+    description =
+      "Partition deletion clears and frees the partition while a \
+       concurrent open reads through its stale pointer.";
+    case }

@@ -1,0 +1,87 @@
+(* Syzkaller bug #8 — "fix uaf for rx_kref of j1939_priv" (CAN,
+   multi-variable, interleaving count 2).  Unfixed at evaluation time.
+
+   bind() and netdev-down race on the correlated pair (netdev_up,
+   priv_ptr), in the same steered structure as CVE-2017-15649, but the
+   terminal step is a kfree that lands under bind's still-running
+   initialization:
+
+     A (j1939 bind)                  B (netdev notifier)
+     A2  if (!netdev_up) return      B2   if (priv_ptr) return
+     A5  priv = kmalloc()            B11  netdev_up = 0
+     A6  priv_ptr = priv             B12  if (priv_ptr)
+     A12 priv->rx_kref = 1  <- UAF   B13      kfree(priv_ptr)
+
+   Chain: (A2 => B11) /\ (B2 => A6) --> (A6 => B12) --> (B13 => A12)
+   --> use-after-free. *)
+
+open Ksim.Program.Build
+
+let counters = [ "can_stat_rx"; "can_stat_tx"; "j1939_stat_sessions" ]
+
+let group =
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "can8" ] "A" "bind"
+      ([ load "A2" "up" (g "netdev_up") ~func:"j1939_netdev_start" ~line:230;
+         branch_if "A2_chk" (Eq (reg "up", cint 0)) "A_ret"
+           ~func:"j1939_netdev_start" ~line:231;
+         alloc "A5" "priv" "j1939_priv" ~fields:[ ("rx_kref", cint 0) ]
+           ~func:"j1939_priv_create" ~line:240;
+         store "A6" (g "priv_ptr") (reg "priv") ~func:"j1939_netdev_start"
+           ~line:245 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:9
+      @ [ store "A12" (reg "priv" **-> "rx_kref") (cint 1)
+            ~func:"j1939_netdev_start" ~line:250;
+          return "A_ret" ~func:"j1939_netdev_start" ~line:260 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "can8" ] "B" "netdev_down"
+      ([ load "B2" "p" (g "priv_ptr") ~func:"j1939_netdev_notify" ~line:330;
+         branch_if "B2_chk" (Not (Is_null (reg "p"))) "B_ret"
+           ~func:"j1939_netdev_notify" ~line:331 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:9
+      @ [ store "B11" (g "netdev_up") (cint 0) ~func:"j1939_netdev_notify"
+            ~line:335;
+          load "B12" "p2" (g "priv_ptr") ~func:"j1939_netdev_notify"
+            ~line:336;
+          branch_if "B12_chk" (Is_null (reg "p2")) "B_ret"
+            ~func:"j1939_netdev_notify" ~line:337;
+          free "B13" (reg "p2") ~func:"j1939_priv_put" ~line:340;
+          return "B_ret" ~func:"j1939_netdev_notify" ~line:350 ])
+  in
+  Ksim.Program.group ~name:"syz-08-can-j1939"
+    ~globals:
+      ([ ("netdev_up", Ksim.Value.Int 1); ("priv_ptr", Ksim.Value.Null) ]
+      @ Caselib.noise_globals counters)
+    [ thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-08-can-j1939";
+    subsystem = "CAN";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "sendmsg") ]
+        ~symptom:"KASAN: use-after-free" ~location:"A12" ~subsystem:"CAN" () }
+
+let bug : Bug.t =
+  { id = "syz-08";
+    source =
+      Bug.Syzkaller
+        { index = 8; title = "WARNING: refcount bug in j1939_netdev_start" };
+    subsystem = "CAN";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Multi;
+    fixed_at_eval = false;
+    expectation =
+      { exp_interleavings = 2; exp_chain_races = Some 4;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 2818.8; p_lifs_scheds = 1044; p_interleavings = 2;
+          p_ca_time = 3286.0; p_ca_scheds = 1469; p_chain_races = Some 5 };
+    max_interleavings = None;
+    description =
+      "Multi-variable atomicity violation on (netdev_up, priv_ptr) \
+       steering the notifier into freeing the priv that bind is still \
+       initializing.";
+    case }

@@ -1,0 +1,94 @@
+(* Syzkaller bug #9 — "memory leak in do_seccomp" (Seccomp, loosely
+   correlated).  Unfixed at evaluation time; reported by the authors.
+
+   Two concurrent filter installations race on the check-then-publish of
+   the filter pointer; the overwritten filter is never freed.  The TSYNC
+   flag that should have serialized them lives in the task struct, the
+   filter in the seccomp subsystem — loosely correlated objects:
+
+     A (seccomp install)             B (seccomp TSYNC install)
+     A0  if (tsync) return           B0  tsync = 1
+     A1  if (filter_ptr) return      B1  if (filter_ptr) goto put
+     A2  f = kmalloc()               B2  f' = kmalloc()
+     A3  filter_ptr = f              B3  filter_ptr = f'
+                                     B4  cur = filter_ptr
+                                     B5  kfree(cur)     (exit teardown)
+
+   A's filter overwrites B's published pointer after B's teardown ran:
+   exactly one of the two is ever freed.
+   Chain: (A0 => B0) --> (A1 => B3) --> memory leak. *)
+
+open Ksim.Program.Build
+
+let counters = [ "seccomp_stat_installs"; "task_stat_forks" ]
+
+let group =
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "task9" ] "A" "seccomp"
+      ([ load "A0" "ts" (g "tsync") ~func:"do_seccomp" ~line:1380;
+         branch_if "A0_chk" (Ne (reg "ts", cint 0)) "A_ret" ~func:"do_seccomp"
+           ~line:1381 ]
+      @ Caselib.filler ~prefix:"A" 14
+      @ [ load "A1" "f" (g "filter_ptr") ~func:"seccomp_attach_filter"
+           ~line:1400;
+         branch_if "A1_chk" (Not (Is_null (reg "f"))) "A_ret"
+           ~func:"seccomp_attach_filter" ~line:1401 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:9
+      @ [ alloc "A2" "newf" "seccomp_filter" ~leak_check:true
+            ~func:"seccomp_prepare_filter" ~line:1410;
+          store "A3" (g "filter_ptr") (reg "newf")
+            ~func:"seccomp_attach_filter" ~line:1415;
+          return "A_ret" ~func:"do_seccomp" ~line:1420 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "task9" ] "B" "seccomp_tsync"
+      ([ store "B0" (g "tsync") (cint 1) ~func:"do_seccomp" ~line:1380 ]
+      @ Caselib.filler ~prefix:"B" 14
+      @ [ load "B1" "f" (g "filter_ptr") ~func:"seccomp_attach_filter"
+           ~line:1400;
+         branch_if "B1_chk" (Not (Is_null (reg "f"))) "B4"
+           ~func:"seccomp_attach_filter" ~line:1401 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:9
+      @ [ alloc "B2" "newf" "seccomp_filter" ~leak_check:true
+            ~func:"seccomp_prepare_filter" ~line:1410;
+          store "B3" (g "filter_ptr") (reg "newf")
+            ~func:"seccomp_attach_filter" ~line:1415;
+          load "B4" "cur" (g "filter_ptr") ~func:"seccomp_filter_release"
+            ~line:1500;
+          free "B5" (reg "cur") ~func:"seccomp_filter_release" ~line:1501;
+          return "B_teardown" ~func:"seccomp_filter_release" ~line:1510 ])
+  in
+  Ksim.Program.group ~name:"syz-09-seccomp-leak"
+    ~globals:
+      ([ ("tsync", Ksim.Value.Int 0); ("filter_ptr", Ksim.Value.Null) ]
+      @ Caselib.noise_globals counters)
+    [ thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-09-seccomp-leak";
+    subsystem = "Seccomp";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "prctl") ]
+        ~symptom:"memory leak" ~subsystem:"Seccomp" () }
+
+let bug : Bug.t =
+  { id = "syz-09";
+    source = Bug.Syzkaller { index = 9; title = "memory leak in do_seccomp" };
+    subsystem = "Seccomp";
+    bug_type = Bug.Memory_leak;
+    variables = Bug.Multi_loose;
+    fixed_at_eval = false;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 1526.4; p_lifs_scheds = 628; p_interleavings = 1;
+          p_ca_time = 1452.6; p_ca_scheds = 848; p_chain_races = Some 2 };
+    max_interleavings = None;
+    description =
+      "Concurrent filter installation overwrites a just-published filter \
+       that the exit path then never frees (loosely correlated task \
+       flag / seccomp filter).";
+    case }

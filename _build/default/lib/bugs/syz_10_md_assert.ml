@@ -1,0 +1,84 @@
+(* Syzkaller bug #10 — "md: warning caused by a race between concurrent
+   md_ioctl()s" (Software RAID, single variable, kworkerd).  Unfixed at
+   evaluation time; the fix was submitted before the report.
+
+   Two ioctls and the md flush worker step the flush state machine on a
+   single flag; an interleaved sequence drives it into the state the
+   ioctl path asserts against:
+
+     A (md_ioctl)                    B (md_ioctl)            kworker
+     A1  flush_state = 1             B1  if (state != 1) ret
+     A2  s = flush_state             B2  flush_state = 2     K1 if (!=2) ret
+     A3  BUG_ON(s == 3)              B3  queue_work(flush)   K2 flush_state=3
+
+   Chain: (A1 => B1) --> (K2 => A2) --> assertion. *)
+
+open Ksim.Program.Build
+
+let counters = [ "md_stat_writes"; "md_stat_flushes"; "raid_stat_stripes" ]
+
+let group =
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "md0" ] "A" "ioctl_md_set"
+      ([ store "A1" (g "flush_state") (cint 1) ~func:"md_ioctl" ~line:7520 ]
+      @ Caselib.noise ~prefix:"A" ~counters ~iters:7
+      @ [ load "A2" "s" (g "flush_state") ~func:"md_ioctl" ~line:7540;
+          bug_on "A3" (Eq (reg "s", cint 3)) ~func:"md_ioctl" ~line:7541 ])
+  in
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "md0" ] "B" "ioctl_md_flush"
+      ([ load "B1" "s" (g "flush_state") ~func:"md_ioctl" ~line:7560;
+         branch_if "B1_chk" (Ne (reg "s", cint 1)) "B_ret" ~func:"md_ioctl"
+           ~line:7561 ]
+      @ Caselib.noise ~prefix:"B" ~counters ~iters:7
+      @ [ store "B2" (g "flush_state") (cint 2) ~func:"md_flush_request"
+            ~line:580;
+          queue_work "B3" "md_submit_flush" ~func:"md_flush_request"
+            ~line:585;
+          return "B_ret" ~func:"md_ioctl" ~line:7570 ])
+  in
+  let flush_worker =
+    Caselib.entry "md_submit_flush"
+      [ load "K1" "s" (g "flush_state") ~func:"md_submit_flush_data"
+          ~line:620;
+        branch_if "K1_chk" (Ne (reg "s", cint 2)) "K_ret"
+          ~func:"md_submit_flush_data" ~line:621;
+        store "K2" (g "flush_state") (cint 3) ~func:"md_submit_flush_data"
+          ~line:625;
+        return "K_ret" ~func:"md_submit_flush_data" ~line:630 ]
+  in
+  Ksim.Program.group ~name:"syz-10-md-assert" ~entries:[ flush_worker ]
+    ~globals:([ ("flush_state", Ksim.Value.Int 0) ] @ Caselib.noise_globals counters)
+    [ thread_a; thread_b ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-10-md-assert";
+    subsystem = "Software RAID";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "fsync") ]
+        ~symptom:"kernel BUG (BUG_ON)" ~location:"A3"
+        ~subsystem:"Software RAID" () }
+
+let bug : Bug.t =
+  { id = "syz-10";
+    source =
+      Bug.Syzkaller
+        { index = 10;
+          title = "md: fix a warning caused by a race between concurrent md_ioctl()s" };
+    subsystem = "Software RAID";
+    bug_type = Bug.Assertion_violation;
+    variables = Bug.Single;
+    fixed_at_eval = false;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = true };
+    paper =
+      Some
+        { p_lifs_time = 70.8; p_lifs_scheds = 101; p_interleavings = 1;
+          p_ca_time = 2365.1; p_ca_scheds = 1032; p_chain_races = Some 4 };
+    max_interleavings = None;
+    description =
+      "The flush state machine is stepped by two ioctls and the md flush \
+       worker; an interleaving drives it into the asserted-against state.";
+    case }

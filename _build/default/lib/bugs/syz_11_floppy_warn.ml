@@ -1,0 +1,70 @@
+(* Syzkaller bug #11 — "WARNING in schedule_bh" (Floppy, single
+   variable).  Unfixed at evaluation time; reported by the authors and
+   confirmed.
+
+   Two submitters both pass the bh_pending check, both schedule the
+   bottom half, and the handler count check fires:
+
+     A / B (ioctl_fdrawcmd, symmetric)
+     X1  if (bh_pending) return
+     X2  bh_pending = 1
+     X3  c = bh_count
+     X4  bh_count = c + 1
+     X5  WARN_ON(bh_count > 1)
+
+   Chain: (A1 => B2) --> (B4 => A3) --> WARNING. *)
+
+open Ksim.Program.Build
+
+let counters = [ "fdc_stat_cmds"; "fdc_stat_irqs" ]
+
+let submitter name pfx =
+  Caselib.syscall_thread ~resources:[ "fd0" ] name "ioctl_fdrawcmd"
+    ([ load (pfx ^ "1") "p" (g "bh_pending") ~func:"schedule_bh" ~line:990;
+       branch_if (pfx ^ "1_chk") (Ne (reg "p", cint 0)) (pfx ^ "_ret")
+         ~func:"schedule_bh" ~line:991 ]
+    @ Caselib.noise ~prefix:pfx ~counters ~iters:8
+    @ [ store (pfx ^ "2") (g "bh_pending") (cint 1) ~func:"schedule_bh"
+          ~line:995;
+        load (pfx ^ "3") "c" (g "bh_count") ~func:"schedule_bh" ~line:996;
+        store (pfx ^ "4") (g "bh_count") (Add (reg "c", cint 1))
+          ~func:"schedule_bh" ~line:997;
+        load (pfx ^ "5") "c2" (g "bh_count") ~func:"schedule_bh" ~line:998;
+        warn_on (pfx ^ "6") (Gt (reg "c2", cint 1)) ~func:"schedule_bh"
+          ~line:999;
+        return (pfx ^ "_ret") ~func:"schedule_bh" ~line:1000 ])
+
+let group =
+  Ksim.Program.group ~name:"syz-11-floppy-warn"
+    ~globals:
+      ([ ("bh_pending", Ksim.Value.Int 0); ("bh_count", Ksim.Value.Int 0) ]
+      @ Caselib.noise_globals counters)
+    [ submitter "A" "A"; submitter "B" "B" ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-11-floppy-warn";
+    subsystem = "Floppy";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "read") ] ~symptom:"WARNING"
+        ~location:"A6" ~subsystem:"Floppy" () }
+
+let bug : Bug.t =
+  { id = "syz-11";
+    source = Bug.Syzkaller { index = 11; title = "WARNING in schedule_bh" };
+    subsystem = "Floppy";
+    bug_type = Bug.Assertion_violation;
+    variables = Bug.Single;
+    fixed_at_eval = false;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = false };
+    paper =
+      Some
+        { p_lifs_time = 72.4; p_lifs_scheds = 15; p_interleavings = 1;
+          p_ca_time = 1692.9; p_ca_scheds = 627; p_chain_races = Some 2 };
+    max_interleavings = None;
+    description =
+      "Both submitters pass the bh_pending check and double-schedule the \
+       bottom half; the handler-count warning fires.";
+    case }

@@ -1,0 +1,80 @@
+(* Syzkaller bug #12 — "Bluetooth: dangling sco_conn and use-after-free
+   in sco_sock_timeout" (Bluetooth, single variable, timer softirq).
+   Unfixed at evaluation time.
+
+   connect() arms the SCO timeout with a pointer to the connection;
+   close() frees the connection before the timer fires:
+
+     B (connect)                     A (close)             timer
+     B1  conn = kmalloc()            A1  c = conn_ptr
+     B2  conn_ptr = conn             A1c if (!c) return
+     B3  arm_timer(timeout, conn)    A2  conn_ptr = NULL
+                                     A3  kfree(c)          T1 conn->state <- UAF
+
+   Chain: (B2 => A1) --> (A3 => T1) --> use-after-free. *)
+
+open Ksim.Program.Build
+
+let counters = [ "hci_stat_events"; "sco_stat_conns" ]
+
+let group =
+  let thread_b =
+    Caselib.syscall_thread ~resources:[ "sco2" ] "B" "connect"
+      (Caselib.noise ~prefix:"B" ~counters ~iters:8
+      @ [ alloc "B1" "conn" "sco_conn" ~fields:[ ("state", cint 1) ]
+            ~func:"sco_conn_add" ~line:140;
+          store "B2" (g "conn_ptr") (reg "conn") ~func:"sco_conn_add"
+            ~line:145;
+          arm_timer "B3" "sco_sock_timeout" ~arg:(reg "conn")
+            ~func:"sco_sock_set_timer" ~line:160 ])
+  in
+  let thread_a =
+    Caselib.syscall_thread ~resources:[ "sco2" ] "A" "close"
+      (Caselib.noise ~prefix:"A" ~counters ~iters:8
+      @ [ load "A1" "c" (g "conn_ptr") ~func:"sco_conn_del" ~line:200;
+          branch_if "A1_chk" (Is_null (reg "c")) "A_ret" ~func:"sco_conn_del"
+            ~line:201;
+          store "A2" (g "conn_ptr") cnull ~func:"sco_conn_del" ~line:205;
+          free "A3" (reg "c") ~func:"sco_conn_del" ~line:210;
+          return "A_ret" ~func:"sco_conn_del" ~line:220 ])
+  in
+  let timeout =
+    Caselib.entry "sco_sock_timeout"
+      [ load "T1" "st" (reg "arg" **-> "state") ~func:"sco_sock_timeout"
+          ~line:80 ]
+  in
+  Ksim.Program.group ~name:"syz-12-bluetooth-uaf" ~entries:[ timeout ]
+    ~globals:([ ("conn_ptr", Ksim.Value.Null) ] @ Caselib.noise_globals counters)
+    [ thread_b; thread_a ]
+
+let case () : Aitia.Diagnose.case =
+  { case_name = "syz-12-bluetooth-uaf";
+    subsystem = "Bluetooth";
+    group;
+    history =
+      Caselib.history ~group ~extra:[ ("X", "getsockopt") ]
+        ~symptom:"KASAN: use-after-free" ~location:"T1"
+        ~subsystem:"Bluetooth" () }
+
+let bug : Bug.t =
+  { id = "syz-12";
+    source =
+      Bug.Syzkaller
+        { index = 12;
+          title = "Bluetooth: use-after-free in sco_sock_timeout" };
+    subsystem = "Bluetooth";
+    bug_type = Bug.Use_after_free;
+    variables = Bug.Single;
+    fixed_at_eval = false;
+    expectation =
+      { exp_interleavings = 1; exp_chain_races = Some 2;
+        exp_ambiguous = false; exp_kthread = true };
+    paper =
+      Some
+        { p_lifs_time = 740.1; p_lifs_scheds = 272; p_interleavings = 1;
+          p_ca_time = 2032.0; p_ca_scheds = 843; p_chain_races = Some 4 };
+    max_interleavings = None;
+    description =
+      "close() frees the SCO connection before the armed socket timer \
+       fires and dereferences it.";
+    case }

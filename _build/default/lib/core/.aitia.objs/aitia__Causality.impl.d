@@ -1,0 +1,1 @@
+lib/core/causality.ml: Array Executor Hashtbl Hypervisor Int Ksim List Logs Option Race String Unix

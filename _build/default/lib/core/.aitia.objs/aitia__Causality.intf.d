@@ -1,0 +1,1 @@
+lib/core/causality.mli: Hypervisor Ksim Race

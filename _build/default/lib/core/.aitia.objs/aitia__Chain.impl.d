@@ -1,0 +1,1 @@
+lib/core/chain.ml: Causality Fmt Int Ksim List Race String

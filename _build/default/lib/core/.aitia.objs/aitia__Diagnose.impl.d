@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Causality Chain Fmt Hypervisor Ksim Lifs List Logs Race String Trace

@@ -1,0 +1,1 @@
+lib/core/diagnose.mli: Causality Chain Ksim Lifs Trace

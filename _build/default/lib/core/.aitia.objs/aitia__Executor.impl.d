@@ -1,0 +1,1 @@
+lib/core/executor.ml: Hypervisor Ksim List

@@ -1,0 +1,1 @@
+lib/core/lifs.ml: Array Executor Fmt Fun Hashtbl Hypervisor Ksim List Logs Race String Unix

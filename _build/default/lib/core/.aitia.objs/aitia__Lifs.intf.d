@@ -1,0 +1,1 @@
+lib/core/lifs.mli: Hypervisor Ksim Race

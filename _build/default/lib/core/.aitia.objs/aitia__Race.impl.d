@@ -1,0 +1,1 @@
+lib/core/race.ml: Fmt Hashtbl Int Ksim List Option String

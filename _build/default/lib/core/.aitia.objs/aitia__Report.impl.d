@@ -1,0 +1,1 @@
+lib/core/report.ml: Causality Chain Diagnose Fmt Ksim Lifs List Race Trace

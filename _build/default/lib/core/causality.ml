@@ -1,0 +1,325 @@
+(* Causality Analysis (§3.4).
+
+   From the failure-causing instruction sequence, initialize the test set
+   with its data races.  Pop races from the back (last second-access
+   first), flip each one while keeping the other orders, and re-execute:
+
+   - if the kernel no longer fails, the race contributed to the failure
+     and joins the root cause set;
+   - if it still fails, the race is benign and is excluded.
+
+   A flip of a root-cause race that makes another root-cause race
+   disappear (race-steered control flow) establishes a causality edge
+   between them.  Critical sections are flipped as units (liveness), and
+   a race that surrounds a nested root-cause race is reported ambiguous
+   because its flip cannot preserve the nested order (Figure 7). *)
+
+module Iid = Ksim.Access.Iid
+module Schedule = Hypervisor.Schedule
+module Controller = Hypervisor.Controller
+
+let src = Logs.Src.create "aitia.causality" ~doc:"Causality Analysis"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type verdict = Root_cause | Benign
+
+type tested = {
+  race : Race.t;
+  verdict : verdict;
+  flip_outcome : Controller.outcome;
+  (* test-set races absent from the (surviving) flipped run. *)
+  disappeared : Race.t list;
+  ambiguous : bool;
+  (* Did the flipped order actually execute?  A vacuous flip (an
+     endpoint erased by a race-steered control flow before it could run)
+     is the anomaly backward testing minimizes. *)
+  enforced : bool;
+}
+
+type stats = {
+  schedules : int;
+  elapsed : float;
+  simulated : float;
+}
+
+type result = {
+  tested : tested list;          (* in testing order *)
+  root_causes : Race.t list;     (* in trace order (second access asc.) *)
+  benign : Race.t list;
+  edges : (Race.t * Race.t) list;  (* r1 -> r2: flipping r1 removes r2 *)
+  ambiguous : Race.t list;
+  stats : stats;
+}
+
+(* --- critical sections ------------------------------------------------ *)
+
+type section = {
+  cs_tid : int;
+  cs_lock : string;
+  cs_start : int;           (* trace index of the Lock event *)
+  cs_stop : int option;     (* trace index of the Unlock event *)
+}
+
+let critical_sections (trace : Ksim.Machine.event list) : section list =
+  let open_cs : (int * string, int) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iteri
+    (fun i (e : Ksim.Machine.event) ->
+      match e.lock_op with
+      | Some (l, `Acquire) -> Hashtbl.replace open_cs (e.iid.Iid.tid, l) i
+      | Some (l, `Release) -> (
+        match Hashtbl.find_opt open_cs (e.iid.Iid.tid, l) with
+        | Some start ->
+          Hashtbl.remove open_cs (e.iid.Iid.tid, l);
+          out :=
+            { cs_tid = e.iid.Iid.tid; cs_lock = l; cs_start = start;
+              cs_stop = Some i }
+            :: !out
+        | None -> ())
+      | None -> ())
+    trace;
+  Hashtbl.iter
+    (fun (tid, l) start ->
+      out := { cs_tid = tid; cs_lock = l; cs_start = start; cs_stop = None }
+             :: !out)
+    open_cs;
+  !out
+
+let section_containing sections ~tid ~index =
+  List.find_opt
+    (fun s ->
+      s.cs_tid = tid && s.cs_start <= index
+      && match s.cs_stop with Some e -> index <= e | None -> true)
+    sections
+
+(* --- flip-plan construction ------------------------------------------- *)
+
+let index_of_iid trace iid =
+  let rec go i = function
+    | [] -> None
+    | (e : Ksim.Machine.event) :: rest ->
+      if Iid.equal e.iid iid then Some i else go (i + 1) rest
+  in
+  go 0 trace
+
+(* Build the diagnosis schedule enforcing [r.second] before [r.first]
+   while preserving the rest of the failing sequence.  When both
+   endpoints sit in critical sections of the same lock, the sections are
+   flipped as units.  For a pending race (second never executed because
+   the failure halted the machine) the second instruction is inserted
+   before the first; run-through in the plan policy walks its thread to
+   that instruction. *)
+let flip_plan (trace : Ksim.Machine.event list) (r : Race.t) :
+    Schedule.plan =
+  let iids = List.map (fun (e : Ksim.Machine.event) -> e.iid) trace in
+  let arr = Array.of_list iids in
+  let n = Array.length arr in
+  let u = r.second.iid.Iid.tid in
+  let i0 = index_of_iid trace r.first.iid in
+  let j0 = index_of_iid trace r.second.iid in
+  match i0 with
+  | None ->
+    (* First endpoint not in trace: nothing to reorder. *)
+    Schedule.plan iids
+  | Some i -> (
+    match j0 with
+    | None ->
+      (* Pending second: insert it just before the first endpoint — or,
+         when the first endpoint sits inside a critical section, before
+         that section's lock, so the whole section is displaced as a
+         unit (the pending thread may need the same lock). *)
+      let i =
+        match
+          section_containing (critical_sections trace)
+            ~tid:r.first.iid.Iid.tid ~index:i
+        with
+        | Some cs -> cs.cs_start
+        | None -> i
+      in
+      let before = Array.to_list (Array.sub arr 0 i) in
+      let after = Array.to_list (Array.sub arr i (n - i)) in
+      Schedule.plan (before @ (r.second.iid :: after))
+    | Some j when j <= i -> Schedule.plan iids  (* already flipped *)
+    | Some j ->
+      (* Critical-section unit adjustment. *)
+      let sections = critical_sections trace in
+      let t = r.first.iid.Iid.tid in
+      let i, j =
+        match
+          ( section_containing sections ~tid:t ~index:i,
+            section_containing sections ~tid:u ~index:j )
+        with
+        | Some st, Some su when String.equal st.cs_lock su.cs_lock ->
+          let i' = st.cs_start in
+          let j' = Option.value ~default:j su.cs_stop in
+          (i', j')
+        | _ -> (i, j)
+      in
+      let before = Array.to_list (Array.sub arr 0 i) in
+      let after = Array.to_list (Array.sub arr (j + 1) (n - j - 1)) in
+      (* Hoist [u]'s window events ahead of [first], together with their
+         spawn prerequisites: if [u] (or a hoisted thread) was spawned by
+         a queue_work/call_rcu/arm_timer instruction inside the window,
+         that instruction — and its thread's preceding window events —
+         must be hoisted too, or the enforcement could never run [u]. *)
+      let events = Array.of_list trace in
+      let len = j - i + 1 in
+      let wevent k = events.(i + k) in
+      let hoist = Array.make len false in
+      for k = 0 to len - 1 do
+        if (wevent k).Ksim.Machine.iid.Iid.tid = u then hoist.(k) <- true
+      done;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for k = 0 to len - 1 do
+          if hoist.(k) then (
+            let t = (wevent k).Ksim.Machine.iid.Iid.tid in
+            for m = 0 to len - 1 do
+              if
+                (not hoist.(m))
+                && List.exists
+                     (fun (tid', _) -> tid' = t)
+                     (wevent m).Ksim.Machine.spawned
+              then (
+                let w = (wevent m).Ksim.Machine.iid.Iid.tid in
+                for p = 0 to m do
+                  if
+                    (not hoist.(p))
+                    && (wevent p).Ksim.Machine.iid.Iid.tid = w
+                  then (
+                    hoist.(p) <- true;
+                    changed := true)
+                done)
+            done)
+        done
+      done;
+      let u_events = ref [] and others = ref [] in
+      for k = len - 1 downto 0 do
+        let iid = (wevent k).Ksim.Machine.iid in
+        if hoist.(k) then u_events := iid :: !u_events
+        else others := iid :: !others
+      done;
+      Schedule.plan (before @ !u_events @ !others @ after))
+
+(* --- test ordering ----------------------------------------------------- *)
+
+(* Backward from the failure (latest second access first), except that a
+   nested race is always tested before a race that surrounds it.  The
+   forward direction exists only for the ablation study: testing from
+   the front makes flips meet race-steered control flows that erase
+   later instructions (§3.4). *)
+let test_order ?(direction = `Backward) (races : Race.t list) : Race.t list =
+  let cmp a b =
+    if Race.surrounds a b then 1        (* a surrounds b: b first *)
+    else if Race.surrounds b a then -1
+    else
+      match direction with
+      | `Backward -> Int.compare b.Race.second.time a.Race.second.time
+      | `Forward -> Int.compare a.Race.second.time b.Race.second.time
+  in
+  List.stable_sort cmp races
+
+(* --- the analysis ------------------------------------------------------ *)
+
+let survived (o : Controller.outcome) =
+  match o.verdict with
+  | Controller.Completed -> true
+  | Controller.Failed _ | Controller.Deadlock | Controller.Step_limit -> false
+
+let analyze ?max_steps ?(prologue = []) ?direction (vm : Hypervisor.Vm.t)
+    ~(failing : Controller.outcome) ~(races : Race.t list) () : result =
+  let t0 = Unix.gettimeofday () in
+  let runs_before = Hypervisor.Vm.runs vm in
+  let ordered = test_order ?direction races in
+  let tested =
+    List.map
+      (fun r ->
+        let plan = flip_plan failing.trace r in
+        let run = Executor.run_plan ?max_steps ~prologue vm plan in
+        let ok = survived run.outcome in
+        let disappeared =
+          if not ok then []
+          else
+            List.filter
+              (fun r' ->
+                (not (Race.equal r r'))
+                && not (Race.occurred_in run.outcome.trace r'))
+              races
+        in
+        let enforced =
+          Race.occurred_in run.outcome.trace
+            { Race.first = r.second; second = r.first }
+        in
+        Log.debug (fun m ->
+            m "flip %a -> %s%s" Race.pp_short r
+              (if ok then "no failure (root cause)" else "still fails (benign)")
+              (if enforced then "" else " [vacuous]"));
+        { race = r;
+          verdict = (if ok then Root_cause else Benign);
+          flip_outcome = run.outcome;
+          disappeared;
+          ambiguous = false;
+          enforced })
+      ordered
+  in
+  let root_tested =
+    List.filter (fun t -> t.verdict = Root_cause) tested
+  in
+  let in_root r =
+    List.exists (fun t -> Race.equal t.race r) root_tested
+  in
+  (* Ambiguity: a surrounding race whose nested race is also a root
+     cause cannot be decided (its flip also flipped the nested one). *)
+  let tested =
+    List.map
+      (fun t ->
+        if t.verdict <> Root_cause then t
+        else
+          let amb =
+            List.exists
+              (fun t' ->
+                t' != t && t'.verdict = Root_cause
+                && Race.surrounds t.race t'.race)
+              tested
+          in
+          { t with ambiguous = amb })
+      tested
+  in
+  let root_causes =
+    List.filter (fun t -> t.verdict = Root_cause) tested
+    |> List.map (fun t -> t.race)
+    |> List.sort (fun (a : Race.t) b ->
+           Int.compare a.second.time b.second.time)
+  in
+  let benign =
+    List.filter (fun t -> t.verdict = Benign) tested
+    |> List.map (fun t -> t.race)
+  in
+  let edges =
+    List.concat_map
+      (fun t ->
+        if t.verdict <> Root_cause then []
+        else
+          List.filter_map
+            (fun r' ->
+              if in_root r' && not (Race.equal t.race r') then
+                Some (t.race, r')
+              else None)
+            t.disappeared)
+      tested
+  in
+  let ambiguous =
+    List.filter (fun (t : tested) -> t.ambiguous) tested
+    |> List.map (fun t -> t.race)
+  in
+  { tested;
+    root_causes;
+    benign;
+    edges;
+    ambiguous;
+    stats =
+      { schedules = Hypervisor.Vm.runs vm - runs_before;
+        elapsed = Unix.gettimeofday () -. t0;
+        simulated = Hypervisor.Vm.simulated_seconds vm } }

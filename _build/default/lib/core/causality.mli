@@ -1,0 +1,68 @@
+(** Causality Analysis (§3.4).
+
+    From the failure-causing instruction sequence, pop data races from
+    the back, flip each one while keeping the other orders, and
+    re-execute: a race whose flip averts the failure is a root cause; a
+    race whose flip leaves the kernel failing is benign.  Flips of
+    root-cause races that erase other root-cause races (race-steered
+    control flows) yield causality edges.  Critical sections are flipped
+    as units; a race surrounding a nested root cause is ambiguous. *)
+
+type verdict = Root_cause | Benign
+
+type tested = {
+  race : Race.t;
+  verdict : verdict;
+  flip_outcome : Hypervisor.Controller.outcome;
+  disappeared : Race.t list;
+      (** test-set races absent from the surviving flipped run *)
+  ambiguous : bool;
+  enforced : bool;
+      (** did the flipped order actually execute? (ablation metric) *)
+}
+
+type stats = {
+  schedules : int;
+  elapsed : float;
+  simulated : float;
+}
+
+type result = {
+  tested : tested list;           (** in testing order *)
+  root_causes : Race.t list;      (** in trace order *)
+  benign : Race.t list;
+  edges : (Race.t * Race.t) list; (** (r1, r2): flipping r1 removes r2 *)
+  ambiguous : Race.t list;
+  stats : stats;
+}
+
+type section = {
+  cs_tid : int;
+  cs_lock : string;
+  cs_start : int;
+  cs_stop : int option;
+}
+
+val critical_sections : Ksim.Machine.event list -> section list
+
+val flip_plan : Ksim.Machine.event list -> Race.t -> Hypervisor.Schedule.plan
+(** The diagnosis schedule enforcing [second => first] while preserving
+    the rest of the failing sequence: critical sections move as units,
+    background threads' spawning instructions are hoisted along, pending
+    second endpoints are inserted before the first. *)
+
+val test_order :
+  ?direction:[ `Backward | `Forward ] -> Race.t list -> Race.t list
+(** Backward (latest second access first) by default, nested races
+    always before the races surrounding them; [`Forward] exists for the
+    ablation study. *)
+
+val analyze :
+  ?max_steps:int ->
+  ?prologue:int list ->
+  ?direction:[ `Backward | `Forward ] ->
+  Hypervisor.Vm.t ->
+  failing:Hypervisor.Controller.outcome ->
+  races:Race.t list ->
+  unit ->
+  result

@@ -1,0 +1,31 @@
+(** Causality chains — the root cause as AITIA reports it.
+
+    A chain is an ordered sequence of groups of data races: races in one
+    group jointly steer the control flow enabling the next group (the
+    conjunctions of Figure 3), and the final group enables the failure.
+    "If a fix does not allow one of the interleaving orders in the
+    chain, it does not incur a failure." *)
+
+type node = {
+  race : Race.t;
+  ambiguous : bool;
+}
+
+type t = {
+  groups : node list list;  (** earliest first; last group -> failure *)
+  failure : Ksim.Failure.t;
+}
+
+val races : t -> Race.t list
+val length : t -> int
+val has_ambiguity : t -> bool
+
+val of_causality : Causality.result -> failure:Ksim.Failure.t -> t
+(** Conjunction groups come from mutual causality edges or identical
+    successor sets; ambiguous races are excluded from the chain (they
+    are reported alongside it, §3.4). *)
+
+val pp_node : node Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string
+val pp_detailed : t Fmt.t

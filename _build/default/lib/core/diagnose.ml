@@ -1,0 +1,127 @@
+(* The AITIA manager (§4.1): modeling -> reproducing -> diagnosing.
+
+   Input: a case — the kernel program group (our guest image), the ftrace
+   execution history, and the crash report.  The manager slices the
+   history backward from the failure, realizes each slice as a guest
+   workload, runs LIFS until the failure is reproduced, then runs
+   Causality Analysis and assembles the causality chain. *)
+
+let src = Logs.Src.create "aitia.diagnose" ~doc:"The AITIA manager"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type case = {
+  case_name : string;
+  subsystem : string;
+  group : Ksim.Program.group;     (* all modeled threads (the guest) *)
+  history : Trace.History.t;
+}
+
+type metrics = {
+  mem_accessing_instrs : int;  (* access events in the failed execution *)
+  races_detected : int;        (* individual data races in it *)
+  races_in_chain : int;        (* after Causality Analysis *)
+}
+
+type report = {
+  case : case;
+  slices_tried : int;
+  slice_threads : string list;  (* threads of the reproducing slice *)
+  lifs : Lifs.result;
+  causality : Causality.result option;
+  chain : Chain.t option;
+  metrics : metrics option;
+}
+
+let reproduced r = r.chain <> None
+
+(* Restrict the case's guest to the threads named by a slice; threads
+   pulled in by resource closure become the serial prologue. *)
+let realize (case : case) (slice : Trace.Slicer.t) :
+    (Ksim.Program.group * int list) option =
+  let episode_names =
+    List.map (fun (e : Trace.History.episode) -> e.thread) slice.episodes
+  in
+  let setup_names =
+    List.map (fun (e : Trace.History.episode) -> e.thread) slice.setup
+  in
+  let spec_named n (s : Ksim.Program.thread_spec) =
+    String.equal s.spec_name n
+  in
+  let find n = List.find_opt (spec_named n) case.group.Ksim.Program.threads in
+  let setup_specs = List.filter_map find setup_names in
+  let main_specs = List.filter_map find episode_names in
+  (* Background-thread episodes have no top-level spec: they are spawned
+     by the syscalls at runtime, so they need no realization. *)
+  if main_specs = [] then None
+  else
+    let threads = setup_specs @ main_specs in
+    let prologue = List.mapi (fun i _ -> i) setup_specs in
+    Some ({ case.group with Ksim.Program.threads }, prologue)
+
+let empty_lifs_result () : Lifs.result =
+  { found = None;
+    stats = { schedules = 0; pruned = 0; interleavings = 0; elapsed = 0.;
+              simulated = 0. };
+    db = Ksim.Kcov.empty;
+    runs = [] }
+
+let diagnose ?max_interleavings ?max_steps
+    ?(slice_order = `Nearest_first) (case : case) : report =
+  let crash = Trace.History.crash case.history in
+  let target = Trace.Crash.matches crash in
+  let slices = Trace.Slicer.slices case.history in
+  (* Backward-from-failure is the paper's heuristic (§4.2); the reversed
+     order exists for the ablation study. *)
+  let slices =
+    match slice_order with
+    | `Nearest_first -> slices
+    | `Farthest_first -> List.rev slices
+  in
+  (* When no slice reproduces, report the largest search performed (the
+     last slice is often a trivial setup-only one). *)
+  let widest a b =
+    match a with
+    | None -> Some b
+    | Some (a' : Lifs.result) ->
+      if b.Lifs.stats.schedules > a'.stats.schedules then Some b else a
+  in
+  let rec try_slices tried last_lifs = function
+    | [] ->
+      { case; slices_tried = tried; slice_threads = [];
+        lifs = (match last_lifs with Some l -> l | None -> empty_lifs_result ());
+        causality = None; chain = None; metrics = None }
+    | slice :: rest -> (
+      match realize case slice with
+      | None -> try_slices tried last_lifs rest
+      | Some (group, prologue) -> (
+        Log.info (fun m ->
+            m "case %s: trying slice {%a}" case.case_name
+              (Fmt.list ~sep:Fmt.comma Fmt.string)
+              (Trace.Slicer.threads slice));
+        let lifs_vm = Hypervisor.Vm.create group in
+        let lifs =
+          Lifs.search ?max_interleavings ?max_steps ~prologue lifs_vm ~target
+            ()
+        in
+        match lifs.found with
+        | None -> try_slices (tried + 1) (widest last_lifs lifs) rest
+        | Some success ->
+          let ca_vm = Hypervisor.Vm.create group in
+          let ca =
+            Causality.analyze ?max_steps ~prologue ca_vm
+              ~failing:success.outcome ~races:success.races ()
+          in
+          let chain = Chain.of_causality ca ~failure:success.failure in
+          let metrics =
+            { mem_accessing_instrs =
+                List.length (Race.accesses_of_trace success.outcome.trace);
+              races_detected = List.length success.races;
+              races_in_chain = List.length ca.root_causes }
+          in
+          { case; slices_tried = tried + 1;
+            slice_threads = Trace.Slicer.threads slice;
+            lifs; causality = Some ca; chain = Some chain;
+            metrics = Some metrics }))
+  in
+  try_slices 0 None slices

@@ -1,0 +1,46 @@
+(** The AITIA manager (§4.1): modeling -> reproducing -> diagnosing.
+
+    Input: the kernel program group (the guest), the ftrace execution
+    history, and the crash report.  The manager slices the history
+    backward from the failure, realizes each slice as a guest workload,
+    runs LIFS until the failure reproduces, then runs Causality Analysis
+    and assembles the causality chain. *)
+
+type case = {
+  case_name : string;
+  subsystem : string;
+  group : Ksim.Program.group;  (** all modeled threads (the guest) *)
+  history : Trace.History.t;
+}
+
+type metrics = {
+  mem_accessing_instrs : int;  (** access events in the failed execution *)
+  races_detected : int;        (** individual data races in it *)
+  races_in_chain : int;        (** after Causality Analysis *)
+}
+
+type report = {
+  case : case;
+  slices_tried : int;
+  slice_threads : string list;
+  lifs : Lifs.result;
+  causality : Causality.result option;
+  chain : Chain.t option;
+  metrics : metrics option;
+}
+
+val reproduced : report -> bool
+
+val realize :
+  case -> Trace.Slicer.t -> (Ksim.Program.group * int list) option
+(** Restrict the guest to a slice's threads; resource-closure threads
+    become the serial prologue (returned as thread indices). *)
+
+val diagnose :
+  ?max_interleavings:int ->
+  ?max_steps:int ->
+  ?slice_order:[ `Nearest_first | `Farthest_first ] ->
+  case ->
+  report
+(** The full pipeline.  Tries slices nearest-to-failure first until one
+    reproduces (§4.2); [`Farthest_first] exists for the ablation. *)

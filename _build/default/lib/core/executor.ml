@@ -1,0 +1,48 @@
+(* Running schedules on a VM and harvesting what AITIA needs from the
+   run: the trace, the access database updates, and the races. *)
+
+type run = {
+  schedule_kind : [ `Preemption | `Plan ];
+  outcome : Hypervisor.Controller.outcome;
+}
+
+(* Prologue threads (resource-setup system calls pulled in by the slicer)
+   are forced to run to completion, in order, before the interesting
+   threads; we wrap the policy. *)
+let with_prologue (prologue : int list) (policy : Hypervisor.Controller.policy)
+    : Hypervisor.Controller.policy =
+ fun m runnable ->
+  let rec pick = function
+    | [] -> policy m runnable
+    | tid :: rest ->
+      if Ksim.Machine.is_done m tid then pick rest
+      else if List.mem tid runnable then Some tid
+      else None (* prologue blocked: give up *)
+  in
+  pick prologue
+
+let run_preemption ?max_steps ?(prologue = []) (vm : Hypervisor.Vm.t)
+    (sched : Hypervisor.Schedule.preemption) : run =
+  let policy =
+    with_prologue prologue (Hypervisor.Schedule.preemption_policy sched)
+  in
+  let outcome = Hypervisor.Vm.run ?max_steps vm policy in
+  { schedule_kind = `Preemption; outcome }
+
+let run_plan ?max_steps ?(prologue = []) (vm : Hypervisor.Vm.t)
+    (plan : Hypervisor.Schedule.plan) : run =
+  let policy = with_prologue prologue (Hypervisor.Schedule.plan_policy plan) in
+  let outcome = Hypervisor.Vm.run ?max_steps vm policy in
+  { schedule_kind = `Plan; outcome }
+
+(* Update the cross-run access database from a run, keyed by stable
+   thread base names. *)
+let learn (db : Ksim.Kcov.db) (r : run) : Ksim.Kcov.db =
+  let final = r.outcome.final in
+  let thread_base tid = Ksim.Machine.thread_base final tid in
+  Ksim.Kcov.add_trace ~thread_base db r.outcome.trace
+
+let failed (r : run) =
+  match r.outcome.verdict with
+  | Hypervisor.Controller.Failed f -> Some f
+  | _ -> None

@@ -1,0 +1,26 @@
+(** Running schedules on a VM and harvesting what AITIA needs: the
+    trace, access-database updates, and failure outcomes. *)
+
+type run = {
+  schedule_kind : [ `Preemption | `Plan ];
+  outcome : Hypervisor.Controller.outcome;
+}
+
+val with_prologue :
+  int list -> Hypervisor.Controller.policy -> Hypervisor.Controller.policy
+(** Force resource-setup threads to run to completion, in order, before
+    the policy takes over. *)
+
+val run_preemption :
+  ?max_steps:int -> ?prologue:int list -> Hypervisor.Vm.t ->
+  Hypervisor.Schedule.preemption -> run
+
+val run_plan :
+  ?max_steps:int -> ?prologue:int list -> Hypervisor.Vm.t ->
+  Hypervisor.Schedule.plan -> run
+
+val learn : Ksim.Kcov.db -> run -> Ksim.Kcov.db
+(** Fold the run's accesses into the cross-run database, keyed by stable
+    thread base names. *)
+
+val failed : run -> Ksim.Failure.t option

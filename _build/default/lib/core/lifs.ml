@@ -1,0 +1,288 @@
+(* Least Interleaving First Search (§3.3).
+
+   LIFS reproduces a reported failure by exploring interleavings of
+   conflicting instructions, fewest preemptions first:
+
+   - interleaving count 0: the serial executions (every order of the
+     top-level threads), which also seed the access database;
+   - interleaving count k: every schedule of count k-1 extended by one
+     more preemption, placed after an instruction known (from the access
+     database accumulated so far) to conflict with another thread, and
+     switching to a thread known to access the same location.  This is
+     the DPOR-flavoured restriction to conflicting instructions, and
+     newly discovered accesses (race-steered control flows) enter the
+     database dynamically and extend the search space on the fly.
+
+   Equivalent extensions — identical executed prefix and identical switch
+   target — are pruned and counted, mirroring the partial-order-reduction
+   skips of Figure 5. *)
+
+module Iid = Ksim.Access.Iid
+module Schedule = Hypervisor.Schedule
+module Controller = Hypervisor.Controller
+
+let src = Logs.Src.create "aitia.lifs" ~doc:"Least Interleaving First Search"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type stats = {
+  schedules : int;        (* runs actually executed *)
+  pruned : int;           (* candidate schedules skipped as equivalent *)
+  interleavings : int;    (* interleaving count of the failing schedule *)
+  elapsed : float;        (* host wall-clock seconds *)
+  simulated : float;      (* modeled guest seconds (Vm cost model) *)
+}
+
+type success = {
+  schedule : Schedule.preemption;
+  outcome : Controller.outcome;
+  failure : Ksim.Failure.t;
+  races : Race.t list;    (* all races of the failure-causing sequence *)
+}
+
+type result = {
+  found : success option;
+  stats : stats;
+  db : Ksim.Kcov.db;
+  (* Every executed run, for baselines that need failing/passing traces. *)
+  runs : (Schedule.preemption * Controller.outcome) list;
+}
+
+let default_max_interleavings = 3
+
+(* All permutations of a list. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let site_of_event final (e : Ksim.Machine.event) : Ksim.Kcov.site =
+  { Ksim.Kcov.site_thread = Ksim.Machine.thread_base final e.iid.Iid.tid;
+    site_label = e.iid.Iid.label }
+
+(* Index (in the trace) after which a new preemption may be placed: all
+   existing switches must already have fired. *)
+let extension_start (sched : Schedule.preemption)
+    (trace : Ksim.Machine.event array) =
+  match List.rev sched.switches with
+  | [] -> 0
+  | { after; _ } :: _ ->
+    let idx = ref 0 in
+    Array.iteri
+      (fun i (e : Ksim.Machine.event) ->
+        if Iid.equal e.iid after then idx := i + 1)
+      trace;
+    !idx
+
+(* Is thread [u] certainly finished by trace position [i] of this run? *)
+let done_by final (trace : Ksim.Machine.event array) u i =
+  Ksim.Machine.has_thread final u
+  && Ksim.Machine.is_done final u
+  &&
+  let last = ref (-1) in
+  Array.iteri
+    (fun j (e : Ksim.Machine.event) -> if e.iid.Iid.tid = u then last := j)
+    trace;
+  !last <= i
+
+(* Does thread [u] exist at trace position [i]? Top-level threads always
+   do; spawned threads exist once their spawn event has occurred. *)
+let exists_by n_top (trace : Ksim.Machine.event array) u i =
+  u < n_top
+  ||
+  let spawned = ref false in
+  Array.iteri
+    (fun j (e : Ksim.Machine.event) ->
+      if j <= i && List.exists (fun (t, _) -> t = u) e.spawned then
+        spawned := true)
+    trace;
+  !spawned
+
+(* Candidate one-preemption extensions of an executed run, each paired
+   with its equivalence signature: parent schedule, static preemption
+   site, accessed location and switch target.  Candidates that differ
+   only in the dynamic occurrence of the same static site (e.g. every
+   iteration of a statistics loop) are equivalent in the DPOR sense —
+   they order the same conflicting accesses — and are pruned by the
+   caller (the "skip" nodes of Figure 5).  Prologue (resource-setup)
+   threads are forced serial, so preempting them is pointless and they
+   are skipped. *)
+let extensions ~db ~n_top ~prologue (sched : Schedule.preemption)
+    (outcome : Controller.outcome) : (string * Schedule.preemption) list =
+  let final = outcome.final in
+  let trace = Array.of_list outcome.trace in
+  let start = extension_start sched trace in
+  let all_tids =
+    List.filter
+      (fun t -> not (List.mem t prologue))
+      (Ksim.Machine.thread_ids final)
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun i (e : Ksim.Machine.event) ->
+      if i >= start && not (List.mem e.iid.Iid.tid prologue) then
+        match e.access with
+        | None -> ()
+        | Some a ->
+          let site = site_of_event final e in
+          if Ksim.Kcov.has_conflict db ~site ~addr:a.addr ~kind:a.kind then
+            List.iter
+              (fun u ->
+                if
+                  u <> e.iid.Iid.tid
+                  && exists_by n_top trace u i
+                  && (not (done_by final trace u i))
+                  && (* the target must itself touch the location *)
+                  List.exists
+                    (fun ((s : Ksim.Kcov.site), k) ->
+                      String.equal s.site_thread
+                        (Ksim.Machine.thread_base final u)
+                      && (a.kind <> Ksim.Instr.Read || k <> Ksim.Instr.Read))
+                    (Ksim.Kcov.accessors db a.addr)
+                then
+                  let equiv_sig =
+                    Fmt.str "%s|%s:%s@%a->%s"
+                      (Schedule.preemption_key sched)
+                      site.Ksim.Kcov.site_thread site.Ksim.Kcov.site_label
+                      Ksim.Addr.pp a.addr
+                      (Ksim.Machine.thread_base final u)
+                  in
+                  out :=
+                    ( equiv_sig,
+                      { sched with
+                        Schedule.switches =
+                          sched.Schedule.switches
+                          @ [ { Schedule.after = e.iid; switch_to = u } ] } )
+                    :: !out)
+              all_tids)
+    trace;
+  List.rev !out
+
+(* Exact-duplicate detection: the machine is deterministic, so the
+   schedule (order + switches) fully determines the run. *)
+let signature (sched : Schedule.preemption) = Schedule.preemption_key sched
+
+(* [prune] disables the DPOR-style equivalence pruning when false — the
+   ablation of DESIGN.md §5.2 measures how many more schedules the
+   search runs without it. *)
+let search ?(max_interleavings = default_max_interleavings) ?max_steps
+    ?(prologue = []) ?(prune = true) (vm : Hypervisor.Vm.t)
+    ~(target : Ksim.Failure.t -> bool) () : result =
+  let t0 = Unix.gettimeofday () in
+  let group = Hypervisor.Vm.group vm in
+  let n_top = List.length group.Ksim.Program.threads in
+  let top = List.init n_top Fun.id in
+  let interesting =
+    List.filter (fun tid -> not (List.mem tid prologue)) top
+  in
+  let db = ref Ksim.Kcov.empty in
+  let seen = Hashtbl.create 256 in
+  let pruned = ref 0 in
+  let executed = ref [] in  (* (sched, outcome) newest first *)
+  let runs_before = Hypervisor.Vm.runs vm in
+  let finish found interleavings =
+    let elapsed = Unix.gettimeofday () -. t0 in
+    { found;
+      stats =
+        { schedules = Hypervisor.Vm.runs vm - runs_before;
+          pruned = !pruned;
+          interleavings;
+          elapsed;
+          simulated = Hypervisor.Vm.simulated_seconds vm };
+      db = !db;
+      runs = List.rev !executed }
+  in
+  let run_sched (sched : Schedule.preemption) =
+    let r = Executor.run_preemption ?max_steps ~prologue vm sched in
+    db := Executor.learn !db r;
+    executed := (sched, r.outcome) :: !executed;
+    r
+  in
+  let success sched (outcome : Controller.outcome) failure =
+    let races =
+      Race.of_trace outcome.trace
+      @ Race.pending_of_failure ~db:!db ~final:outcome.final outcome.trace
+    in
+    (* The pending scan can re-derive the faulting pair already found in
+       the trace; keep one copy of each race. *)
+    let races =
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun r ->
+          let k = Race.key r in
+          if Hashtbl.mem seen k then false
+          else (
+            Hashtbl.add seen k ();
+            true))
+        races
+    in
+    (* Orders against the serial prologue are enforced by the workload
+       itself (e.g. open() precedes the racing calls); they are not data
+       races of the concurrent slice. *)
+    let races =
+      List.filter
+        (fun (r : Race.t) ->
+          (not (List.mem r.first.iid.Iid.tid prologue))
+          && not (List.mem r.second.iid.Iid.tid prologue))
+        races
+    in
+    { schedule = sched; outcome; failure; races }
+  in
+  (* Phase 0: serial executions. *)
+  let serial_orders = permutations interesting in
+  let rec run_phase (frontier : (string * Schedule.preemption) list) k =
+    let failed = ref None in
+    List.iter
+      (fun (equiv_sig, sched) ->
+        if !failed = None then (
+          let key = signature sched in
+          if
+            Hashtbl.mem seen key
+            || (prune && Hashtbl.mem seen equiv_sig)
+          then incr pruned
+          else (
+            Hashtbl.add seen key ();
+            if prune then Hashtbl.add seen equiv_sig ();
+            let r = run_sched sched in
+            match Executor.failed r with
+            | Some f when target f -> failed := Some (sched, r.outcome, f)
+            | Some _ | None -> ())))
+      frontier;
+    match !failed with
+    | Some (sched, outcome, f) ->
+      Log.debug (fun m ->
+          m "reproduced at interleaving count %d with %a: %a" k
+            Schedule.pp_preemption sched Ksim.Failure.pp f);
+      finish (Some (success sched outcome f)) k
+    | None ->
+      Log.debug (fun m ->
+          m "interleaving count %d exhausted (%d schedules so far, %d pruned)"
+            k
+            (Hypervisor.Vm.runs vm - runs_before)
+            !pruned);
+      if k >= max_interleavings then finish None k
+      else (
+        (* Extend every executed run of interleaving count k by one more
+           preemption, using the database as known so far. *)
+        let parents =
+          List.filter
+            (fun ((s : Schedule.preemption), _) ->
+              Schedule.interleaving_count s = k)
+            (List.rev !executed)
+        in
+        let next =
+          List.concat_map
+            (fun (s, o) -> extensions ~db:!db ~n_top ~prologue s o)
+            parents
+        in
+        run_phase next (k + 1))
+  in
+  run_phase
+    (List.map (fun o -> (Schedule.preemption_key (Schedule.serial o),
+                         Schedule.serial o))
+       serial_orders)
+    0

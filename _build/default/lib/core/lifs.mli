@@ -1,0 +1,45 @@
+(** Least Interleaving First Search (§3.3): reproduce a reported failure
+    by exploring interleavings of conflicting instructions, fewest
+    preemptions first, with DPOR-style pruning of equivalent extensions
+    and on-the-fly discovery of accesses revealed by race-steered
+    control flows. *)
+
+type stats = {
+  schedules : int;      (** runs actually executed *)
+  pruned : int;         (** candidates skipped as equivalent *)
+  interleavings : int;  (** interleaving count of the failing schedule *)
+  elapsed : float;      (** host wall-clock seconds *)
+  simulated : float;    (** modeled guest seconds (Vm cost model) *)
+}
+
+type success = {
+  schedule : Hypervisor.Schedule.preemption;
+  outcome : Hypervisor.Controller.outcome;
+  failure : Ksim.Failure.t;
+  races : Race.t list;  (** all races of the failure-causing sequence *)
+}
+
+type result = {
+  found : success option;
+  stats : stats;
+  db : Ksim.Kcov.db;
+  runs :
+    (Hypervisor.Schedule.preemption * Hypervisor.Controller.outcome) list;
+    (** every executed run, for baselines needing pass/fail populations *)
+}
+
+val default_max_interleavings : int
+
+val permutations : 'a list -> 'a list list
+
+val search :
+  ?max_interleavings:int ->
+  ?max_steps:int ->
+  ?prologue:int list ->
+  ?prune:bool ->
+  Hypervisor.Vm.t ->
+  target:(Ksim.Failure.t -> bool) ->
+  unit ->
+  result
+(** [prologue] threads are forced to run serially first (resource
+    setup); [prune:false] disables equivalence pruning (ablation). *)

@@ -1,0 +1,12 @@
+(** Human-readable diagnosis reports with instruction-level information
+    (function names and line numbers of the modeled kernel source). *)
+
+val pp_lifs_stats : Lifs.stats Fmt.t
+val pp_ca_stats : Causality.stats Fmt.t
+
+val locate : Diagnose.case -> Ksim.Access.Iid.t -> Ksim.Program.loc option
+(** Source location of an instruction in the case's programs. *)
+
+val pp_race_with_source : Diagnose.case -> Race.t Fmt.t
+val pp : Diagnose.report Fmt.t
+val to_string : Diagnose.report -> string

@@ -1,0 +1,1 @@
+lib/fuzz/fuzzer.ml: Hashtbl Hypervisor Ksim List Option Rng String Trace

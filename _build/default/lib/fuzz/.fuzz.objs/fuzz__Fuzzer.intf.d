@@ -1,0 +1,1 @@
+lib/fuzz/fuzzer.mli: Hypervisor Ksim Rng Trace

@@ -1,0 +1,19 @@
+(** Deterministic splittable PRNG (splitmix64).  The fuzzer must be
+    reproducible: the same seed always finds the same failure with the
+    same history. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [[0, bound)].  @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** An independent stream derived from (and advancing) [t]. *)
+
+val pick : t -> 'a list -> 'a
+val shuffle : t -> 'a list -> 'a list

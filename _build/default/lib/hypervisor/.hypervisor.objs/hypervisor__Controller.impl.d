@@ -1,0 +1,1 @@
+lib/hypervisor/controller.ml: Fmt Ksim List

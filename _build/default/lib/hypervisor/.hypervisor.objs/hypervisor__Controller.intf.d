@@ -1,0 +1,1 @@
+lib/hypervisor/controller.mli: Fmt Ksim

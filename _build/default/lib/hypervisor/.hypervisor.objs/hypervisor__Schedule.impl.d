@@ -1,0 +1,1 @@
+lib/hypervisor/schedule.ml: Controller Fmt Ksim List String

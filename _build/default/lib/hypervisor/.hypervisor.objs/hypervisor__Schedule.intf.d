@@ -1,0 +1,1 @@
+lib/hypervisor/schedule.mli: Controller Fmt Ksim

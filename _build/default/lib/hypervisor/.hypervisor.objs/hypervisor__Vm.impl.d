@@ -1,0 +1,1 @@
+lib/hypervisor/vm.ml: Controller Fmt Ksim

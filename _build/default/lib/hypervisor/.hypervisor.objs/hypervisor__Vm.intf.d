@@ -1,0 +1,1 @@
+lib/hypervisor/vm.mli: Controller Fmt Ksim

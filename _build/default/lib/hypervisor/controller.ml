@@ -1,0 +1,100 @@
+(* The generic schedule-enforcement loop.
+
+   This is our KVM/QEMU analogue: where the AITIA hypervisor installs
+   breakpoints, parks threads in the trampoline and resumes them per the
+   schedule, our controller steps the persistent machine one instruction
+   at a time, asking a policy which thread to run next.  A thread that the
+   policy does not pick is exactly a trampoline-suspended thread: it stays
+   responsive (its lock state and spawn events remain visible) but makes
+   no progress. *)
+
+type verdict =
+  | Completed                    (* every thread ran to the end, no failure *)
+  | Failed of Ksim.Failure.t
+  | Deadlock                     (* live threads but none runnable *)
+  | Step_limit                   (* watchdog: the run did not converge *)
+
+type outcome = {
+  verdict : verdict;
+  trace : Ksim.Machine.event list;  (* in execution order *)
+  final : Ksim.Machine.t;
+  steps : int;
+}
+
+let is_failure o = match o.verdict with Failed _ -> true | _ -> false
+
+(* A policy sees the machine and the runnable set and picks a thread, or
+   [None] to give up (treated as deadlock if threads remain). *)
+type policy = Ksim.Machine.t -> int list -> int option
+
+let default_max_steps = 200_000
+
+(* A hardware interrupt handler that has started, among the runnable
+   threads.  On the CPU that took the interrupt the handler is not
+   preemptible, but it races freely with threads on other CPUs — which
+   is exactly the bug class of the paper's §4.6 — so this is exposed for
+   policies that model a single-CPU guest, not enforced globally. *)
+let irq_in_progress m runnable =
+  List.find_opt
+    (fun tid ->
+      Ksim.Machine.thread_context m tid = Ksim.Program.Hardirq
+      && Ksim.Machine.has_started m tid)
+    runnable
+
+(* Run [m] under [policy] until completion, failure, deadlock or the step
+   watchdog. *)
+let run ?(max_steps = default_max_steps) (m : Ksim.Machine.t)
+    (policy : policy) : outcome =
+  let rec loop m acc steps =
+    if steps >= max_steps then
+      { verdict = Step_limit; trace = List.rev acc; final = m; steps }
+    else
+      match Ksim.Machine.failed m with
+      | Some f -> { verdict = Failed f; trace = List.rev acc; final = m; steps }
+      | None -> (
+        match Ksim.Machine.runnable m with
+        | [] ->
+          let m = Ksim.Machine.check_leaks m in
+          (match Ksim.Machine.failed m with
+          | Some f ->
+            { verdict = Failed f; trace = List.rev acc; final = m; steps }
+          | None ->
+            if Ksim.Machine.all_done m then
+              { verdict = Completed; trace = List.rev acc; final = m; steps }
+            else
+              { verdict = Deadlock; trace = List.rev acc; final = m; steps })
+        | runnable -> (
+          match policy m runnable with
+          | None ->
+            let m = Ksim.Machine.check_leaks m in
+            (match Ksim.Machine.failed m with
+            | Some f ->
+              { verdict = Failed f; trace = List.rev acc; final = m; steps }
+            | None ->
+              if Ksim.Machine.all_done m then
+                { verdict = Completed; trace = List.rev acc; final = m; steps }
+              else
+                { verdict = Deadlock; trace = List.rev acc; final = m; steps })
+          | Some tid -> (
+            match Ksim.Machine.step m tid with
+            | Ok (m, ev) -> loop m (ev :: acc) (steps + 1)
+            | Error (Ksim.Machine.Blocked_on_lock _) ->
+              (* The policy picked a blocked thread; treat as deadlock
+                 rather than spinning — policies are expected to consult
+                 the runnable set. *)
+              { verdict = Deadlock; trace = List.rev acc; final = m; steps }
+            | Error Ksim.Machine.Thread_not_runnable ->
+              { verdict = Deadlock; trace = List.rev acc; final = m; steps }
+            | Error Ksim.Machine.Machine_failed -> (
+              match Ksim.Machine.failed m with
+              | Some f ->
+                { verdict = Failed f; trace = List.rev acc; final = m; steps }
+              | None -> assert false))))
+  in
+  loop m [] 0
+
+let pp_verdict ppf = function
+  | Completed -> Fmt.string ppf "completed"
+  | Failed f -> Fmt.pf ppf "failed: %a" Ksim.Failure.pp f
+  | Deadlock -> Fmt.string ppf "deadlock"
+  | Step_limit -> Fmt.string ppf "step-limit"

@@ -1,0 +1,38 @@
+(** The generic schedule-enforcement loop — the KVM/QEMU analogue.
+
+    Where the AITIA hypervisor installs breakpoints and parks threads in
+    the trampoline, this controller steps the persistent machine one
+    instruction at a time, asking a policy which thread runs next; a
+    thread the policy does not pick is exactly a trampoline-suspended
+    thread. *)
+
+type verdict =
+  | Completed                   (** every thread ran to the end *)
+  | Failed of Ksim.Failure.t
+  | Deadlock                    (** live threads, none runnable *)
+  | Step_limit                  (** watchdog *)
+
+type outcome = {
+  verdict : verdict;
+  trace : Ksim.Machine.event list;  (** execution order *)
+  final : Ksim.Machine.t;
+  steps : int;
+}
+
+val is_failure : outcome -> bool
+
+type policy = Ksim.Machine.t -> int list -> int option
+(** A policy sees the machine and the runnable set and picks a thread;
+    [None] gives up (deadlock if threads remain). *)
+
+val default_max_steps : int
+
+val irq_in_progress : Ksim.Machine.t -> int list -> int option
+(** A started hardware-interrupt handler among the runnable threads.  On
+    its own CPU a handler is not preemptible, but it races freely with
+    threads on other CPUs (the paper's §4.6 bug class); policies modeling
+    a single-CPU guest can use this to run it to completion. *)
+
+val run : ?max_steps:int -> Ksim.Machine.t -> policy -> outcome
+
+val pp_verdict : verdict Fmt.t

@@ -1,0 +1,177 @@
+(* Schedules: how LIFS and Causality Analysis tell the hypervisor what to
+   run.
+
+   Two forms mirror the paper's two stages:
+
+   - A {e preemption schedule} (reproduce schedule, §4.3): an initial
+     thread order plus a list of scheduling points "after thread T
+     executes instruction I, switch to thread U".  Between points each
+     thread runs to completion (the suspended ones sit in the
+     trampoline).
+
+   - A {e plan schedule} (diagnosis schedule, §4.5): a total order of
+     dynamic instructions to enforce, produced by reordering a
+     failure-causing sequence.  Control flow may diverge from the plan —
+     that is precisely the race-steered behaviour Causality Analysis
+     observes — so enforcement is best-effort with bounded run-through,
+     and liveness is preserved by running lock holders when the planned
+     thread blocks. *)
+
+module Iid = Ksim.Access.Iid
+
+type switch = {
+  after : Iid.t;     (* preempt the thread that executed this instruction *)
+  switch_to : int;   (* and hand the CPU to this thread *)
+}
+
+type preemption = {
+  order : int list;          (* queue of top-level thread ids *)
+  switches : switch list;    (* consumed in list order *)
+}
+
+let serial order = { order; switches = [] }
+
+let pp_switch ppf s =
+  Fmt.pf ppf "after %a -> t%d" Iid.pp_full s.after s.switch_to
+
+let pp_preemption ppf p =
+  Fmt.pf ppf "order=[%a] switches=[%a]"
+    (Fmt.list ~sep:Fmt.comma Fmt.int) p.order
+    (Fmt.list ~sep:Fmt.semi pp_switch) p.switches
+
+(* Number of forced interleavings — the paper's "interleaving count". *)
+let interleaving_count p = List.length p.switches
+
+(* A stable key identifying a preemption schedule, for memoization. *)
+let preemption_key p =
+  Fmt.str "%a" pp_preemption p
+
+(* --- preemption policy ------------------------------------------------ *)
+
+(* The run queue: head is the active thread.  Spawned threads are
+   inserted immediately after their spawner, modeling kworkerd/RCU work
+   that becomes runnable as soon as it is queued.  The active thread runs
+   until it finishes, blocks, or hits a scheduling point. *)
+let preemption_policy (p : preemption) : Controller.policy =
+  let queue = ref p.order in
+  let pending = ref p.switches in
+  (* Insert a freshly spawned thread after its spawner — and after any
+     earlier-spawned siblings already queued there, so deferred work
+     keeps its FIFO order. *)
+  let insert_after m parent tid q =
+    let is_child y = Ksim.Machine.thread_parent m y = Some parent in
+    let rec go = function
+      | [] -> [ tid ]
+      | x :: rest when x = parent ->
+        let rec skip_siblings acc = function
+          | y :: more when is_child y -> skip_siblings (y :: acc) more
+          | remaining -> List.rev_append acc (tid :: remaining)
+        in
+        x :: skip_siblings [] rest
+      | x :: rest -> x :: go rest
+    in
+    go q
+  in
+  let to_front tid q = tid :: List.filter (fun x -> x <> tid) q in
+  fun m runnable ->
+    (* Fold spawn and switch effects of the previous step lazily: we
+       inspect the machine to learn about new threads. *)
+    let known = !queue in
+    let all = Ksim.Machine.thread_ids m in
+    let new_threads = List.filter (fun t -> not (List.mem t known)) all in
+    List.iter
+      (fun t ->
+        match Ksim.Machine.thread_parent m t with
+        | Some parent -> queue := insert_after m parent t !queue
+        | None -> queue := !queue @ [ t ])
+      new_threads;
+    (* Apply a pending switch if its trigger has executed. *)
+    (match !pending with
+    | { after; switch_to } :: rest ->
+      let tid = after.Iid.tid in
+      let executed =
+        Ksim.Machine.has_thread m tid
+        && Ksim.Machine.occurrences m tid after.Iid.label >= after.Iid.occ
+      in
+      if executed then (
+        pending := rest;
+        queue := to_front switch_to !queue)
+    | [] -> ());
+    (* Run the first runnable thread in queue order. *)
+    let rec first = function
+      | [] -> None
+      | t :: rest ->
+        if List.mem t runnable then Some t else first rest
+    in
+    first !queue
+
+(* --- plan schedules --------------------------------------------------- *)
+
+type plan = {
+  events : Iid.t list;          (* total order to enforce *)
+  run_through_budget : int;     (* divergence tolerance per planned event *)
+}
+
+let plan ?(run_through_budget = 2_000) events = { events; run_through_budget }
+
+let pp_plan ppf p =
+  Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any " => ") Iid.pp_full) p.events
+
+let plan_policy (p : plan) : Controller.policy =
+  let remaining = ref p.events in
+  let budget = ref p.run_through_budget in
+  fun m runnable ->
+    let rec decide () =
+      match !remaining with
+      | [] -> (match runnable with [] -> None | t :: _ -> Some t)
+      | ev :: rest -> (
+        let tid = ev.Iid.tid in
+        let drop () =
+          remaining := rest;
+          budget := p.run_through_budget;
+          decide ()
+        in
+        if not (Ksim.Machine.has_thread m tid) then drop ()
+        else
+          match Ksim.Machine.next_label m tid with
+          | None -> drop ()  (* thread finished before the planned event *)
+          | Some next ->
+            if List.mem tid runnable then (
+              let next_occ = Ksim.Machine.occurrences m tid next + 1 in
+              if String.equal next ev.Iid.label && next_occ = ev.Iid.occ then (
+                (* Stepping [tid] now executes exactly [ev]. *)
+                remaining := rest;
+                budget := p.run_through_budget;
+                Some tid)
+              else if !budget > 0 then (
+                (* Control flow diverged from the plan (race-steered):
+                   run the thread through the new path, hoping it
+                   reconverges on the planned instruction. *)
+                decr budget;
+                Some tid)
+              else drop ())
+            else
+              (* Planned thread blocked on a lock: preserve liveness by
+                 running the holder (the paper's critical-section rule
+                 keeps planned flips away from lock cycles; this is the
+                 runtime backstop). *)
+              match Ksim.Machine.blocked_on m tid with
+              | Some lock -> (
+                match Ksim.Machine.lock_holder m lock with
+                | Some holder when List.mem holder runnable -> Some holder
+                | Some _ | None -> None)
+              | None -> drop ())
+    in
+    decide ()
+
+(* Which planned events actually executed in [trace]? Used to detect
+   disappeared data races after a flip. *)
+let executed_events (p : plan) (trace : Ksim.Machine.event list) =
+  let executed =
+    List.fold_left
+      (fun acc (e : Ksim.Machine.event) -> (e.iid.Iid.tid, e.iid.Iid.label, e.iid.Iid.occ) :: acc)
+      [] trace
+  in
+  List.filter
+    (fun (ev : Iid.t) -> List.mem (ev.Iid.tid, ev.Iid.label, ev.Iid.occ) executed)
+    p.events

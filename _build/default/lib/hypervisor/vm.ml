@@ -1,0 +1,74 @@
+(* Virtual-machine instances with run accounting.
+
+   The paper launches 32 guest VMs; each schedule is one run of a guest,
+   and a run that ends in a kernel failure forces a VM reboot — the
+   dominant cost of Causality Analysis ("most of interleavings executed
+   by Causality Analysis cause a failure.  When a failure occurs, AITIA
+   has to reboot the virtual machine", §5.1).  Our substrate reverts a
+   persistent machine value instead, so we model those costs explicitly
+   to preserve the LIFS-cheap / CA-expensive time shape. *)
+
+type cost_model = {
+  per_schedule : float;  (* seconds per enforced schedule (VM run) *)
+  per_reboot : float;    (* extra seconds when a run ends in a failure *)
+}
+
+(* Calibrated from Table 2: LIFS runs ~0.08 s/schedule; CA schedules that
+   fail add a reboot on the order of a second. *)
+let default_costs = { per_schedule = 0.083; per_reboot = 1.25 }
+
+type stats = {
+  mutable runs : int;
+  mutable failures : int;
+  mutable deadlocks : int;
+  mutable steps : int;
+  mutable reverts : int;  (* snapshot restores (non-failing runs) *)
+}
+
+type t = {
+  group : Ksim.Program.group;
+  costs : cost_model;
+  stats : stats;
+}
+
+let create ?(costs = default_costs) group =
+  { group; costs;
+    stats = { runs = 0; failures = 0; deadlocks = 0; steps = 0; reverts = 0 } }
+
+let group t = t.group
+
+(* Boot a fresh guest: in the paper, restore the reproducer's memory
+   snapshot. *)
+let boot t =
+  t.stats.reverts <- t.stats.reverts + 1;
+  Ksim.Machine.create t.group
+
+let record t (o : Controller.outcome) =
+  t.stats.runs <- t.stats.runs + 1;
+  t.stats.steps <- t.stats.steps + o.steps;
+  (match o.verdict with
+  | Controller.Failed _ -> t.stats.failures <- t.stats.failures + 1
+  | Controller.Deadlock | Controller.Step_limit ->
+    t.stats.deadlocks <- t.stats.deadlocks + 1
+  | Controller.Completed -> ())
+
+(* Run one schedule on a fresh guest. *)
+let run ?max_steps t policy =
+  let m = boot t in
+  let o = Controller.run ?max_steps m policy in
+  record t o;
+  o
+
+let runs t = t.stats.runs
+let failures t = t.stats.failures
+let total_steps t = t.stats.steps
+
+(* Simulated wall-clock seconds under the cost model. *)
+let simulated_seconds t =
+  (float_of_int t.stats.runs *. t.costs.per_schedule)
+  +. (float_of_int t.stats.failures *. t.costs.per_reboot)
+
+let pp_stats ppf t =
+  Fmt.pf ppf "runs=%d failures=%d deadlocks=%d steps=%d sim=%.1fs"
+    t.stats.runs t.stats.failures t.stats.deadlocks t.stats.steps
+    (simulated_seconds t)

@@ -1,0 +1,36 @@
+(** Virtual-machine instances with run accounting.
+
+    Each schedule is one run of a guest; a run ending in a kernel
+    failure forces a VM reboot — the dominant cost of Causality Analysis
+    in the paper (§5.1).  The substrate reverts a persistent machine
+    instead, so these costs are modeled explicitly to preserve the
+    LIFS-cheap / CA-expensive time shape. *)
+
+type cost_model = {
+  per_schedule : float;  (** seconds per enforced schedule *)
+  per_reboot : float;    (** extra seconds when a run fails *)
+}
+
+val default_costs : cost_model
+(** Calibrated from Table 2's per-schedule rates. *)
+
+type t
+
+val create : ?costs:cost_model -> Ksim.Program.group -> t
+val group : t -> Ksim.Program.group
+
+val boot : t -> Ksim.Machine.t
+(** A fresh guest (a snapshot restore, in the paper's terms). *)
+
+val run :
+  ?max_steps:int -> t -> Controller.policy -> Controller.outcome
+(** Run one schedule on a fresh guest, recording the outcome. *)
+
+val runs : t -> int
+val failures : t -> int
+val total_steps : t -> int
+
+val simulated_seconds : t -> float
+(** Wall-clock estimate under the cost model. *)
+
+val pp_stats : t Fmt.t

@@ -1,0 +1,1 @@
+lib/ksim/access.ml: Addr Fmt Instr Int List String

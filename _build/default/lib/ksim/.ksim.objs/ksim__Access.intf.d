@@ -1,0 +1,1 @@
+lib/ksim/access.mli: Addr Fmt Instr

@@ -1,0 +1,1 @@
+lib/ksim/addr.ml: Fmt Hashtbl Int Map Set String Value

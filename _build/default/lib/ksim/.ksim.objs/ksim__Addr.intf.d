@@ -1,0 +1,1 @@
+lib/ksim/addr.mli: Fmt Map Set Value

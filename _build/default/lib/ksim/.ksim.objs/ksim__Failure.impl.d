@@ -1,0 +1,1 @@
+lib/ksim/failure.ml: Access Fmt Instr String Value

@@ -1,0 +1,1 @@
+lib/ksim/failure.mli: Access Fmt Instr Value

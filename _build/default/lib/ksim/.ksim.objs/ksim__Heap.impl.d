@@ -1,0 +1,1 @@
+lib/ksim/heap.ml: Access Failure Int List Map Value

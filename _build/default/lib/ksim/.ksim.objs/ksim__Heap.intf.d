@@ -1,0 +1,1 @@
+lib/ksim/heap.mli: Access Failure Instr Value

@@ -1,0 +1,1 @@
+lib/ksim/instr.ml: Fmt Value

@@ -1,0 +1,1 @@
+lib/ksim/kcov.ml: Access Addr Fmt Instr List Machine Map Option String

@@ -1,0 +1,1 @@
+lib/ksim/kcov.mli: Addr Fmt Instr Machine Map String

@@ -1,0 +1,1 @@
+lib/ksim/machine.ml: Access Addr Failure Fmt Heap Instr Int List Map Option Program String Value

@@ -1,0 +1,1 @@
+lib/ksim/machine.mli: Access Addr Failure Instr Program Value

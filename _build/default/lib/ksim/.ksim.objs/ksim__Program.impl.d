@@ -1,0 +1,1 @@
+lib/ksim/program.ml: Array Fmt Hashtbl Instr List Value

@@ -1,0 +1,1 @@
+lib/ksim/program.mli: Fmt Instr Value

@@ -1,0 +1,1 @@
+lib/ksim/value.ml: Fmt List

@@ -1,0 +1,62 @@
+(* Dynamic memory-access events and the conflict predicate.
+
+   Instruction identity follows the paper: a dynamic instruction is a
+   (thread, static label, occurrence) triple, so the same static
+   instruction executed twice in a loop yields two distinct events. *)
+
+module Iid = struct
+  type t = {
+    tid : int;       (* thread id within the machine *)
+    label : string;  (* static instruction label *)
+    occ : int;       (* 1-based execution count of [label] in [tid] *)
+  }
+
+  let make ~tid ~label ~occ = { tid; label; occ }
+
+  let equal a b = a.tid = b.tid && a.occ = b.occ && String.equal a.label b.label
+
+  let compare a b =
+    let c = Int.compare a.tid b.tid in
+    if c <> 0 then c
+    else
+      let c = String.compare a.label b.label in
+      if c <> 0 then c else Int.compare a.occ b.occ
+
+  let pp ppf { tid; label; occ } =
+    if occ = 1 then Fmt.pf ppf "%s" label else Fmt.pf ppf "%s#%d" label occ;
+    ignore tid
+
+  let pp_full ppf { tid; label; occ } = Fmt.pf ppf "t%d:%s#%d" tid label occ
+  let to_string i = Fmt.str "%a" pp_full i
+end
+
+type t = {
+  iid : Iid.t;
+  addr : Addr.t;
+  kind : Instr.access_kind;
+  time : int;  (* global machine clock when the access executed *)
+  held : string list;  (* locks the thread held while accessing *)
+}
+
+(* Both ends hold a common lock: not a data race in the LKMM/KCSAN sense
+   — an unintended critical-section order (§3.4). *)
+let commonly_locked a b =
+  List.exists (fun l -> List.mem l b.held) a.held
+
+let is_write a =
+  match a.kind with
+  | Instr.Write | Instr.Update -> true
+  | Instr.Read -> false
+
+(* Conflicting memory accesses per the Linux kernel memory model: same
+   (overlapping) location, different threads, at least one store.  Overlap
+   rather than equality so that a [kfree] of an object conflicts with any
+   access to its fields. *)
+let conflicting a b =
+  a.iid.Iid.tid <> b.iid.Iid.tid
+  && Addr.overlaps a.addr b.addr
+  && (is_write a || is_write b)
+
+let pp ppf a =
+  Fmt.pf ppf "%a %a %a" Iid.pp_full a.iid Instr.pp_access_kind a.kind Addr.pp
+    a.addr

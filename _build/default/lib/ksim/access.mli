@@ -1,0 +1,44 @@
+(** Dynamic memory-access events and the conflict predicate. *)
+
+(** Dynamic instruction identity: (thread, static label, occurrence),
+    so the same static instruction executed twice in a loop yields two
+    distinct identities. *)
+module Iid : sig
+  type t = {
+    tid : int;       (** thread id within the machine *)
+    label : string;  (** static instruction label *)
+    occ : int;       (** 1-based execution count of [label] in [tid] *)
+  }
+
+  val make : tid:int -> label:string -> occ:int -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val pp : t Fmt.t
+  (** Short form: [label] (with [#occ] only when > 1). *)
+
+  val pp_full : t Fmt.t
+  (** Full form: [t<tid>:<label>#<occ>]. *)
+
+  val to_string : t -> string
+end
+
+type t = {
+  iid : Iid.t;
+  addr : Addr.t;
+  kind : Instr.access_kind;
+  time : int;  (** global machine clock when the access executed *)
+  held : string list;  (** locks the thread held while accessing *)
+}
+
+val commonly_locked : t -> t -> bool
+(** Both ends hold a common lock: not a data race in the LKMM/KCSAN
+    sense, but an unintended critical-section order (§3.4). *)
+
+val is_write : t -> bool
+
+val conflicting : t -> t -> bool
+(** Conflicting memory accesses per the Linux kernel memory model: same
+    (overlapping) location, different threads, at least one store. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,70 @@
+(* Concrete memory locations.
+
+   The simulator addresses memory symbolically: a location is either a named
+   global, a field of a heap object, or an indexed slot of a heap object
+   (used by array-like objects so that out-of-bounds indices are
+   detectable). The conflict predicate of the Linux kernel memory model
+   compares locations for equality, which symbolic addresses support
+   directly. *)
+
+type t =
+  | Global of string                    (* &name *)
+  | Field of Value.obj_id * string      (* obj->field *)
+  | Index of Value.obj_id * int         (* obj[i] *)
+  | Whole of Value.obj_id               (* the object itself (kfree target) *)
+
+let equal a b =
+  match a, b with
+  | Global x, Global y -> String.equal x y
+  | Field (o, f), Field (o', f') -> o = o' && String.equal f f'
+  | Index (o, i), Index (o', i') -> o = o' && i = i'
+  | Whole o, Whole o' -> o = o'
+  | (Global _ | Field _ | Index _ | Whole _), _ -> false
+
+let compare a b =
+  let tag = function Global _ -> 0 | Field _ -> 1 | Index _ -> 2 | Whole _ -> 3 in
+  match a, b with
+  | Global x, Global y -> String.compare x y
+  | Field (o, f), Field (o', f') ->
+    let c = Int.compare o o' in
+    if c <> 0 then c else String.compare f f'
+  | Index (o, i), Index (o', i') ->
+    let c = Int.compare o o' in
+    if c <> 0 then c else Int.compare i i'
+  | Whole o, Whole o' -> Int.compare o o'
+  | _, _ -> Int.compare (tag a) (tag b)
+
+let hash = Hashtbl.hash
+
+let obj_of = function
+  | Global _ -> None
+  | Field (o, _) | Index (o, _) | Whole o -> Some o
+
+(* Two locations overlap when they are equal, or when one is the whole of
+   an object the other lies inside (a [kfree] of the object touches all of
+   its fields). *)
+let overlaps a b =
+  equal a b
+  ||
+  match a, b with
+  | Whole o, (Field (o', _) | Index (o', _))
+  | (Field (o', _) | Index (o', _)), Whole o -> o = o'
+  | _, _ -> false
+
+let pp ppf = function
+  | Global g -> Fmt.pf ppf "&%s" g
+  | Field (o, f) -> Fmt.pf ppf "obj%d->%s" o f
+  | Index (o, i) -> Fmt.pf ppf "obj%d[%d]" o i
+  | Whole o -> Fmt.pf ppf "obj%d" o
+
+let to_string a = Fmt.str "%a" pp a
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)

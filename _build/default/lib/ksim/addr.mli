@@ -1,0 +1,28 @@
+(** Concrete (symbolic) memory locations.
+
+    The Linux-kernel-memory-model conflict predicate compares locations;
+    symbolic addresses support it directly, and [Whole] lets a [kfree]
+    of an object conflict with accesses to any of its fields. *)
+
+type t =
+  | Global of string                (** [&name] *)
+  | Field of Value.obj_id * string  (** [obj->field] *)
+  | Index of Value.obj_id * int     (** [obj[i]] *)
+  | Whole of Value.obj_id           (** the object itself (kfree target) *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val obj_of : t -> Value.obj_id option
+(** The heap object a location lies in, if any. *)
+
+val overlaps : t -> t -> bool
+(** Equal locations overlap; [Whole o] overlaps every field and slot of
+    [o]. *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,87 @@
+(* Failure taxonomy: the symptoms appearing in Tables 2 and 3 of the
+   paper, plus the watchdog symptom used for hangs. *)
+
+type t =
+  | Null_dereference of { at : Access.Iid.t }
+  | Use_after_free of { at : Access.Iid.t; obj : Value.obj_id; tag : string;
+                        kind : Instr.access_kind;
+                        freed_at : Access.Iid.t option }
+  | Out_of_bounds of { at : Access.Iid.t; obj : Value.obj_id; tag : string;
+                       index : int; size : int }
+  | Double_free of { at : Access.Iid.t; obj : Value.obj_id; tag : string }
+  | Invalid_free of { at : Access.Iid.t }
+  | Assertion_violation of { at : Access.Iid.t }        (* BUG_ON *)
+  | Warning of { at : Access.Iid.t }                    (* WARN_ON / refcount *)
+  | General_protection_fault of { at : Access.Iid.t }
+  | List_corruption of { at : Access.Iid.t; reason : string }
+  | Memory_leak of { objs : (Value.obj_id * string) list }
+  | Watchdog of { after_steps : int }
+
+(* The location a crash report points at; leaks and watchdogs have no
+   single faulting instruction. *)
+let location = function
+  | Null_dereference { at }
+  | Use_after_free { at; _ }
+  | Out_of_bounds { at; _ }
+  | Double_free { at; _ }
+  | Invalid_free { at }
+  | Assertion_violation { at }
+  | Warning { at }
+  | General_protection_fault { at }
+  | List_corruption { at; _ } -> Some at
+  | Memory_leak _ | Watchdog _ -> None
+
+let symptom = function
+  | Null_dereference _ -> "null-ptr-deref"
+  | Use_after_free _ -> "KASAN: use-after-free"
+  | Out_of_bounds _ -> "KASAN: slab-out-of-bounds"
+  | Double_free _ -> "KASAN: double-free"
+  | Invalid_free _ -> "invalid-free"
+  | Assertion_violation _ -> "kernel BUG (BUG_ON)"
+  | Warning _ -> "WARNING"
+  | General_protection_fault _ -> "general protection fault"
+  | List_corruption _ -> "list corruption (CONFIG_DEBUG_LIST)"
+  | Memory_leak _ -> "memory leak"
+  | Watchdog _ -> "watchdog: task hung"
+
+(* Two failures are the "same bug" for reproduction purposes when they
+   share a symptom class and faulting location label. *)
+let same_bug a b =
+  String.equal (symptom a) (symptom b)
+  &&
+  match location a, location b with
+  | Some x, Some y -> String.equal x.Access.Iid.label y.Access.Iid.label
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let pp ppf f =
+  match f with
+  | Null_dereference { at } ->
+    Fmt.pf ppf "null-ptr-deref at %a" Access.Iid.pp_full at
+  | Use_after_free { at; obj; tag; kind; freed_at } ->
+    Fmt.pf ppf "use-after-free %a of obj%d<%s> at %a%a" Instr.pp_access_kind
+      kind obj tag Access.Iid.pp_full at
+      (Fmt.option (fun ppf i ->
+           Fmt.pf ppf " (freed at %a)" Access.Iid.pp_full i))
+      freed_at
+  | Out_of_bounds { at; obj; tag; index; size } ->
+    Fmt.pf ppf "slab-out-of-bounds obj%d<%s>[%d] (size %d) at %a" obj tag
+      index size Access.Iid.pp_full at
+  | Double_free { at; obj; tag } ->
+    Fmt.pf ppf "double-free of obj%d<%s> at %a" obj tag Access.Iid.pp_full at
+  | Invalid_free { at } -> Fmt.pf ppf "invalid-free at %a" Access.Iid.pp_full at
+  | Assertion_violation { at } ->
+    Fmt.pf ppf "BUG_ON at %a" Access.Iid.pp_full at
+  | Warning { at } -> Fmt.pf ppf "WARNING at %a" Access.Iid.pp_full at
+  | General_protection_fault { at } ->
+    Fmt.pf ppf "general protection fault at %a" Access.Iid.pp_full at
+  | List_corruption { at; reason } ->
+    Fmt.pf ppf "list corruption (%s) at %a" reason Access.Iid.pp_full at
+  | Memory_leak { objs } ->
+    Fmt.pf ppf "memory leak of %a"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (o, t) -> Fmt.pf ppf "obj%d<%s>" o t))
+      objs
+  | Watchdog { after_steps } ->
+    Fmt.pf ppf "watchdog: no progress after %d steps" after_steps
+
+let to_string f = Fmt.str "%a" pp f

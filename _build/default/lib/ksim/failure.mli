@@ -1,0 +1,31 @@
+(** Failure taxonomy: every symptom appearing in the paper's Tables 2
+    and 3, plus the watchdog symptom for hangs. *)
+
+type t =
+  | Null_dereference of { at : Access.Iid.t }
+  | Use_after_free of { at : Access.Iid.t; obj : Value.obj_id; tag : string;
+                        kind : Instr.access_kind;
+                        freed_at : Access.Iid.t option }
+  | Out_of_bounds of { at : Access.Iid.t; obj : Value.obj_id; tag : string;
+                       index : int; size : int }
+  | Double_free of { at : Access.Iid.t; obj : Value.obj_id; tag : string }
+  | Invalid_free of { at : Access.Iid.t }
+  | Assertion_violation of { at : Access.Iid.t }  (** BUG_ON *)
+  | Warning of { at : Access.Iid.t }              (** WARN_ON / refcount *)
+  | General_protection_fault of { at : Access.Iid.t }
+  | List_corruption of { at : Access.Iid.t; reason : string }
+  | Memory_leak of { objs : (Value.obj_id * string) list }
+  | Watchdog of { after_steps : int }
+
+val location : t -> Access.Iid.t option
+(** The faulting instruction a crash report points at; leaks and
+    watchdogs have none. *)
+
+val symptom : t -> string
+(** The crash-report headline, e.g. ["KASAN: use-after-free"]. *)
+
+val same_bug : t -> t -> bool
+(** Same symptom class and faulting label: the reproduction criterion. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,160 @@
+(* The instruction set executed by the kernel simulator.
+
+   Design constraint: every shared-memory access is its own instruction, so
+   AITIA can reason about interleavings at the granularity the paper uses
+   (one racing access = one instruction). Expressions are therefore pure
+   over thread-local registers and constants; [Load]/[Store] are the only
+   way to touch shared memory, and the composite kernel primitives
+   (list/refcount ops) each access exactly one location. *)
+
+type reg = string
+
+(* Pure expressions over registers. *)
+type expr =
+  | Const of Value.t
+  | Reg of reg
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | Gt of expr * expr
+  | Ge of expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Is_null of expr
+
+(* Address expressions: where a load/store goes.  [Deref]s base must
+   evaluate to a pointer at runtime; NULL or a stale generation is a
+   failure the machine detects. *)
+type addr_expr =
+  | Global of string          (* &global *)
+  | Deref of expr * string    (* e->field *)
+  | At of expr * expr         (* e[i] *)
+
+type lock_id = string
+
+type t =
+  | Load of { dst : reg; src : addr_expr }
+  | Store of { dst : addr_expr; src : expr }
+  (* Atomic read-modify-write of one location: dst := f(old); returns old
+     in [ret] if given.  Models atomic_inc/dec, xchg, test_and_set. *)
+  | Rmw of { ret : reg option; loc : addr_expr; delta : expr }
+  | Assign of { dst : reg; src : expr }
+  | Branch_if of { cond : expr; target : string }   (* if cond goto target *)
+  | Goto of string
+  | Return                                          (* end the thread *)
+  | Nop
+  (* Heap. [fields] lists field names initialized to the given values;
+     [slots] > 0 additionally creates an indexable array of that size. *)
+  | Alloc of { dst : reg; tag : string; fields : (string * expr) list;
+               slots : int; leak_check : bool }
+  | Free of { ptr : expr }
+  (* Locking. *)
+  | Lock of lock_id
+  | Unlock of lock_id
+  (* Kernel background-thread machinery: enqueue a deferred work item /
+     RCU callback / timer.  [entry] names a program registered in the
+     group; [arg] is passed in register "arg" of the new thread. *)
+  | Queue_work of { entry : string; arg : expr }
+  | Call_rcu of { entry : string; arg : expr }
+  | Arm_timer of { entry : string; arg : expr }
+  (* Hardware interrupt: once enabled, the handler may be injected at
+     any point, racing with every other CPU's context (paper Sec. 4.6). *)
+  | Enable_irq of { entry : string; arg : expr }
+  (* Failure-manifesting checks. *)
+  | Bug_on of expr          (* BUG_ON(cond): fail if cond is true *)
+  | Warn_on of expr         (* WARN_ON(cond): warning failure if true *)
+  (* Kernel linked lists: each op is a single access to the list-head
+     location (write for add/del, read for contains into [dst]). *)
+  | List_add of { list : addr_expr; item : expr }
+  | List_del of { list : addr_expr; item : expr }
+  | List_contains of { dst : reg; list : addr_expr; item : expr }
+  | List_empty of { dst : reg; list : addr_expr }
+  | List_first of { dst : reg; list : addr_expr }  (* head or NULL *)
+  (* Reference counting: a single read-modify-write access; underflow and
+     use of a zero refcount manifest as refcount warnings. *)
+  | Ref_get of { loc : addr_expr }
+  | Ref_put of { ret : reg option; loc : addr_expr }
+
+(* Classification used when instrumenting memory accesses. *)
+type access_kind = Read | Write | Update
+
+let pp_access_kind ppf = function
+  | Read -> Fmt.string ppf "R"
+  | Write -> Fmt.string ppf "W"
+  | Update -> Fmt.string ppf "RW"
+
+let rec pp_expr ppf = function
+  | Const v -> Value.pp ppf v
+  | Reg r -> Fmt.string ppf r
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Eq (a, b) -> Fmt.pf ppf "(%a == %a)" pp_expr a pp_expr b
+  | Ne (a, b) -> Fmt.pf ppf "(%a != %a)" pp_expr a pp_expr b
+  | Lt (a, b) -> Fmt.pf ppf "(%a < %a)" pp_expr a pp_expr b
+  | Le (a, b) -> Fmt.pf ppf "(%a <= %a)" pp_expr a pp_expr b
+  | Gt (a, b) -> Fmt.pf ppf "(%a > %a)" pp_expr a pp_expr b
+  | Ge (a, b) -> Fmt.pf ppf "(%a >= %a)" pp_expr a pp_expr b
+  | And (a, b) -> Fmt.pf ppf "(%a && %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Fmt.pf ppf "(%a || %a)" pp_expr a pp_expr b
+  | Not a -> Fmt.pf ppf "!%a" pp_expr a
+  | Is_null a -> Fmt.pf ppf "(%a == NULL)" pp_expr a
+
+let pp_addr_expr ppf = function
+  | Global g -> Fmt.pf ppf "&%s" g
+  | Deref (e, f) -> Fmt.pf ppf "%a->%s" pp_expr e f
+  | At (e, i) -> Fmt.pf ppf "%a[%a]" pp_expr e pp_expr i
+
+let pp ppf = function
+  | Load { dst; src } -> Fmt.pf ppf "%s = *%a" dst pp_addr_expr src
+  | Store { dst; src } -> Fmt.pf ppf "*%a = %a" pp_addr_expr dst pp_expr src
+  | Rmw { ret; loc; delta } ->
+    Fmt.pf ppf "%srmw(%a, %a)"
+      (match ret with Some r -> r ^ " = " | None -> "")
+      pp_addr_expr loc pp_expr delta
+  | Assign { dst; src } -> Fmt.pf ppf "%s = %a" dst pp_expr src
+  | Branch_if { cond; target } ->
+    Fmt.pf ppf "if %a goto %s" pp_expr cond target
+  | Goto l -> Fmt.pf ppf "goto %s" l
+  | Return -> Fmt.string ppf "return"
+  | Nop -> Fmt.string ppf "nop"
+  | Alloc { dst; tag; _ } -> Fmt.pf ppf "%s = kmalloc<%s>()" dst tag
+  | Free { ptr } -> Fmt.pf ppf "kfree(%a)" pp_expr ptr
+  | Lock l -> Fmt.pf ppf "lock(%s)" l
+  | Unlock l -> Fmt.pf ppf "unlock(%s)" l
+  | Queue_work { entry; _ } -> Fmt.pf ppf "queue_work(%s)" entry
+  | Call_rcu { entry; _ } -> Fmt.pf ppf "call_rcu(%s)" entry
+  | Arm_timer { entry; _ } -> Fmt.pf ppf "arm_timer(%s)" entry
+  | Enable_irq { entry; _ } -> Fmt.pf ppf "enable_irq(%s)" entry
+  | Bug_on e -> Fmt.pf ppf "BUG_ON(%a)" pp_expr e
+  | Warn_on e -> Fmt.pf ppf "WARN_ON(%a)" pp_expr e
+  | List_add { list; item } ->
+    Fmt.pf ppf "list_add(%a, %a)" pp_expr item pp_addr_expr list
+  | List_del { list; item } ->
+    Fmt.pf ppf "list_del(%a, %a)" pp_expr item pp_addr_expr list
+  | List_contains { dst; list; item } ->
+    Fmt.pf ppf "%s = list_contains(%a, %a)" dst pp_expr item pp_addr_expr list
+  | List_empty { dst; list } ->
+    Fmt.pf ppf "%s = list_empty(%a)" dst pp_addr_expr list
+  | List_first { dst; list } ->
+    Fmt.pf ppf "%s = list_first(%a)" dst pp_addr_expr list
+  | Ref_get { loc } -> Fmt.pf ppf "refcount_inc(%a)" pp_addr_expr loc
+  | Ref_put { loc; _ } -> Fmt.pf ppf "refcount_dec(%a)" pp_addr_expr loc
+
+let to_string i = Fmt.str "%a" pp i
+
+(* Does this instruction (potentially) access shared memory, and how?
+   Returns the access kind for the single location it touches.  Control
+   and register-only instructions return [None]. *)
+let access_kind = function
+  | Load _ | List_contains _ | List_empty _ | List_first _ -> Some Read
+  | Store _ | List_add _ | List_del _ -> Some Write
+  | Rmw _ | Ref_get _ | Ref_put _ -> Some Update
+  | Assign _ | Branch_if _ | Goto _ | Return | Nop | Alloc _ | Free _
+  | Lock _ | Unlock _ | Queue_work _ | Call_rcu _ | Arm_timer _
+  | Enable_irq _ | Bug_on _ | Warn_on _ -> None

@@ -1,0 +1,81 @@
+(** The instruction set executed by the kernel simulator.
+
+    Every shared-memory access is its own instruction, matching the
+    granularity AITIA reasons at (one racing access = one instruction);
+    expressions are pure over thread-local registers. *)
+
+type reg = string
+
+(** Pure expressions over registers and constants. *)
+type expr =
+  | Const of Value.t
+  | Reg of reg
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | Gt of expr * expr
+  | Ge of expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Is_null of expr
+
+(** Where a load/store goes.  A [Deref]/[At] base must evaluate to a
+    live pointer; NULL, a freed object or a non-pointer manifests the
+    corresponding failure. *)
+type addr_expr =
+  | Global of string          (** [&global] *)
+  | Deref of expr * string    (** [e->field] *)
+  | At of expr * expr         (** [e[i]] *)
+
+type lock_id = string
+
+type t =
+  | Load of { dst : reg; src : addr_expr }
+  | Store of { dst : addr_expr; src : expr }
+  | Rmw of { ret : reg option; loc : addr_expr; delta : expr }
+      (** atomic read-modify-write: [loc += delta], old value in [ret] *)
+  | Assign of { dst : reg; src : expr }
+  | Branch_if of { cond : expr; target : string }
+  | Goto of string
+  | Return
+  | Nop
+  | Alloc of { dst : reg; tag : string; fields : (string * expr) list;
+               slots : int; leak_check : bool }
+      (** kmalloc from slab cache [tag]; [slots > 0] adds an indexable
+          array; [leak_check] reports the object if never freed *)
+  | Free of { ptr : expr }  (** kfree; [kfree(NULL)] is a no-op *)
+  | Lock of lock_id
+  | Unlock of lock_id
+  | Queue_work of { entry : string; arg : expr }
+      (** enqueue deferred work executed by a kworkerd thread *)
+  | Call_rcu of { entry : string; arg : expr }
+  | Arm_timer of { entry : string; arg : expr }
+  | Enable_irq of { entry : string; arg : expr }
+      (** hardware interrupt: once enabled the handler may be injected
+          at any point, racing with every other CPU's context *)
+  | Bug_on of expr   (** BUG_ON(cond) *)
+  | Warn_on of expr  (** WARN_ON(cond) *)
+  | List_add of { list : addr_expr; item : expr }
+  | List_del of { list : addr_expr; item : expr }
+  | List_contains of { dst : reg; list : addr_expr; item : expr }
+  | List_empty of { dst : reg; list : addr_expr }
+  | List_first of { dst : reg; list : addr_expr }
+  | Ref_get of { loc : addr_expr }
+  | Ref_put of { ret : reg option; loc : addr_expr }
+
+(** How an instruction touches its (single) shared location. *)
+type access_kind = Read | Write | Update
+
+val access_kind : t -> access_kind option
+(** [None] for control and register-only instructions. *)
+
+val pp_access_kind : access_kind Fmt.t
+val pp_expr : expr Fmt.t
+val pp_addr_expr : addr_expr Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string

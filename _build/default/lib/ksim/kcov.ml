@@ -1,0 +1,94 @@
+(* Coverage and memory-access instrumentation over executed event traces.
+
+   This plays the role kcov + disassembly play in the paper: the user
+   agent learns which instructions each thread executed and which of them
+   access memory, and accumulates a database of accesses across runs so
+   that LIFS can derive candidate conflicting instructions. *)
+
+module Smap = Map.Make (String)
+
+type trace = Machine.event list
+
+(* Static identity of an instruction inside a group: thread id is dynamic
+   across runs for spawned threads, so the database keys accesses by
+   (thread name is unstable too for spawned threads) — we use the entry
+   name + label, which is stable. *)
+type site = {
+  site_thread : string;  (* top-level thread spec name or entry name *)
+  site_label : string;
+}
+
+let site_compare a b =
+  let c = String.compare a.site_thread b.site_thread in
+  if c <> 0 then c else String.compare a.site_label b.site_label
+
+module Site_map = Map.Make (struct
+  type t = site
+  let compare = site_compare
+end)
+
+let pp_site ppf s = Fmt.pf ppf "%s:%s" s.site_thread s.site_label
+
+(* Which addresses has each instruction site been seen to access, and
+   how.  [writers]/[readers] index sites by address for conflict
+   derivation. *)
+type db = {
+  by_site : (Addr.t * Instr.access_kind) list Site_map.t;
+  by_addr : (site * Instr.access_kind) list Addr.Map.t;
+}
+
+let empty = { by_site = Site_map.empty; by_addr = Addr.Map.empty }
+
+let site_of_event ~thread_base (e : Machine.event) =
+  { site_thread = thread_base e.iid.Access.Iid.tid;
+    site_label = e.iid.Access.Iid.label }
+
+let add_event ~thread_base db (e : Machine.event) =
+  match e.access with
+  | None -> db
+  | Some a ->
+    let s = site_of_event ~thread_base e in
+    let entry = (a.addr, a.kind) in
+    let known =
+      Option.value ~default:[] (Site_map.find_opt s db.by_site)
+    in
+    if List.exists (fun (ad, k) -> Addr.equal ad a.addr && k = a.kind) known
+    then db
+    else
+      { by_site = Site_map.add s (entry :: known) db.by_site;
+        by_addr =
+          Addr.Map.update a.addr
+            (fun l -> Some ((s, a.kind) :: Option.value ~default:[] l))
+            db.by_addr }
+
+let add_trace ~thread_base db trace =
+  List.fold_left (add_event ~thread_base) db trace
+
+(* Sites known to access [addr] (or an overlapping location). *)
+let accessors db addr =
+  Addr.Map.fold
+    (fun a sites acc ->
+      if Addr.overlaps a addr then List.rev_append sites acc else acc)
+    db.by_addr []
+
+(* Does some *other* thread conflict with an access by [site] to [addr]? *)
+let has_conflict db ~site ~addr ~kind =
+  accessors db addr
+  |> List.exists (fun (s, k) ->
+         (not (String.equal s.site_thread site.site_thread))
+         && (kind <> Instr.Read || k <> Instr.Read))
+
+let sites db = Site_map.bindings db.by_site |> List.map fst
+
+(* Coverage summary: distinct labels executed per thread base name. *)
+let coverage (traces : trace list) ~thread_base =
+  List.fold_left
+    (fun acc trace ->
+      List.fold_left
+        (fun acc (e : Machine.event) ->
+          let base = thread_base e.iid.Access.Iid.tid in
+          let labels = Option.value ~default:Smap.empty (Smap.find_opt base acc) in
+          Smap.add base (Smap.add e.iid.Access.Iid.label () labels) acc)
+        acc trace)
+    Smap.empty traces
+  |> Smap.map (fun labels -> Smap.cardinal labels)

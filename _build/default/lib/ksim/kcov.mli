@@ -1,0 +1,39 @@
+(** Coverage and memory-access instrumentation over executed traces —
+    the kcov + disassembly role of the paper (§4.3): it tells AITIA
+    which instruction sites access which locations, across runs. *)
+
+type trace = Machine.event list
+
+type site = {
+  site_thread : string;  (** stable thread identity (spec/entry name) *)
+  site_label : string;   (** static instruction label *)
+}
+
+val site_compare : site -> site -> int
+val pp_site : site Fmt.t
+
+module Site_map : Map.S with type key = site
+
+type db
+(** The cross-run access database: which addresses each instruction site
+    has been seen to access, and the reverse index. *)
+
+val empty : db
+
+val add_event : thread_base:(int -> string) -> db -> Machine.event -> db
+val add_trace : thread_base:(int -> string) -> db -> trace -> db
+(** [thread_base] maps dynamic thread ids to stable names (see
+    {!Machine.thread_base}). *)
+
+val accessors : db -> Addr.t -> (site * Instr.access_kind) list
+(** Sites known to access [addr] or an overlapping location. *)
+
+val has_conflict :
+  db -> site:site -> addr:Addr.t -> kind:Instr.access_kind -> bool
+(** Does some other thread's site conflict with an access by [site]? *)
+
+val sites : db -> site list
+
+val coverage :
+  trace list -> thread_base:(int -> string) -> int Map.Make(String).t
+(** Distinct labels executed per thread base name. *)

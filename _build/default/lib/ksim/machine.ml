@@ -1,0 +1,577 @@
+(* The kernel machine: a deterministic sequentially consistent interpreter
+   over a program group.
+
+   The machine is a persistent value: [step] returns a new machine, so a
+   snapshot is just keeping the old value (this is what the AITIA
+   hypervisor's "revert the memory contents of the reproducer" becomes in
+   our substrate).  A scheduler decides which thread steps next; the
+   machine itself has no scheduling policy. *)
+
+module Smap = Map.Make (String)
+module Imap = Map.Make (Int)
+
+exception Model_error of string
+
+let model_error fmt = Fmt.kstr (fun s -> raise (Model_error s)) fmt
+
+type status = Runnable | Done
+
+type thread = {
+  id : int;
+  name : string;
+  base : string;  (* stable identity across runs: spec or entry name *)
+  context : Program.context;
+  program : Program.t;
+  pc : int;
+  regs : Value.t Smap.t;
+  occ : int Smap.t;  (* label -> times executed so far *)
+  status : status;
+  parent : int option;
+}
+
+type t = {
+  group : Program.group;
+  threads : thread Imap.t;
+  mem : Value.t Addr.Map.t;
+  heap : Heap.t;
+  locks : int Smap.t;  (* lock id -> holder tid *)
+  failure : Failure.t option;
+  next_tid : int;
+  clock : int;
+}
+
+type event = {
+  iid : Access.Iid.t;
+  instr : Instr.t;
+  src : Program.loc;
+  access : Access.t option;
+  spawned : (int * string) list;  (* (tid, entry name) of new threads *)
+  lock_op : (string * [ `Acquire | `Release ]) option;
+  context : Program.context;
+  thread_name : string;
+}
+
+type step_error =
+  | Blocked_on_lock of string
+  | Thread_not_runnable
+  | Machine_failed
+
+(* --- construction --------------------------------------------------- *)
+
+let make_thread ~id ~name ~base ~context ~program ~parent ~arg =
+  let regs =
+    match arg with None -> Smap.empty | Some v -> Smap.add "arg" v Smap.empty
+  in
+  { id; name; base; context; program; pc = 0; regs; occ = Smap.empty;
+    status = Runnable; parent }
+
+let create (group : Program.group) =
+  let threads, next_tid =
+    List.fold_left
+      (fun (acc, id) (spec : Program.thread_spec) ->
+        let th =
+          make_thread ~id ~name:spec.Program.spec_name
+            ~base:spec.Program.spec_name ~context:spec.context
+            ~program:spec.program ~parent:None ~arg:None
+        in
+        (Imap.add id th acc, id + 1))
+      (Imap.empty, 0) group.Program.threads
+  in
+  let mem =
+    List.fold_left
+      (fun m (name, v) -> Addr.Map.add (Addr.Global name) v m)
+      Addr.Map.empty group.Program.globals
+  in
+  { group; threads; mem; heap = Heap.empty; locks = Smap.empty;
+    failure = None; next_tid; clock = 0 }
+
+(* --- inspection ----------------------------------------------------- *)
+
+let failed t = t.failure
+let clock t = t.clock
+let thread_ids t = Imap.fold (fun id _ acc -> id :: acc) t.threads [] |> List.rev
+let find_thread t tid =
+  match Imap.find_opt tid t.threads with
+  | Some th -> th
+  | None -> model_error "no thread %d" tid
+
+let has_thread t tid = Imap.mem tid t.threads
+
+(* Has [tid] executed at least one instruction? *)
+let has_started t tid =
+  let th = find_thread t tid in
+  th.pc > 0 || th.status = Done || not (Smap.is_empty th.occ)
+
+(* How many times has [tid] executed the instruction [label] so far? *)
+let occurrences t tid label =
+  Option.value ~default:0 (Smap.find_opt label (find_thread t tid).occ)
+
+let thread_name t tid = (find_thread t tid).name
+
+(* Stable identity of a thread across runs of the same group: the
+   thread-spec name for top-level threads, the entry name for spawned
+   background threads. *)
+let thread_base t tid = (find_thread t tid).base
+let thread_context t tid = (find_thread t tid).context
+let thread_parent t tid = (find_thread t tid).parent
+
+let next_labeled t tid =
+  let th = find_thread t tid in
+  match th.status with
+  | Done -> None
+  | Runnable ->
+    if th.pc >= Program.length th.program then None
+    else Some (Program.get th.program th.pc)
+
+(* A thread is done when it returned or fell off the end of its program. *)
+let is_done t tid = next_labeled t tid = None
+
+let next_label t tid =
+  Option.map (fun (l : Program.labeled) -> l.label) (next_labeled t tid)
+
+(* The lock [tid] would block on if stepped now, if any. *)
+let blocked_on t tid =
+  match next_labeled t tid with
+  | Some { instr = Instr.Lock l; _ } -> (
+    match Smap.find_opt l t.locks with
+    | Some holder when holder <> tid -> Some l
+    | Some _ -> Some l  (* self-deadlock: kernel spinlocks don't re-enter *)
+    | None -> None)
+  | Some _ | None -> None
+
+let lock_holder t lock = Smap.find_opt lock t.locks
+
+let runnable t =
+  match t.failure with
+  | Some _ -> []
+  | None ->
+    List.filter
+      (fun tid ->
+        (not (is_done t tid))
+        && next_labeled t tid <> None
+        && blocked_on t tid = None)
+      (thread_ids t)
+
+let all_done t =
+  List.for_all (fun tid -> next_labeled t tid = None) (thread_ids t)
+
+let reg t tid r = Smap.find_opt r (find_thread t tid).regs
+
+let mem_read t addr =
+  match Addr.Map.find_opt addr t.mem with
+  | Some v -> v
+  | None -> Value.Int 0  (* zero-initialized memory *)
+
+let live_objects t = Heap.live_count t.heap
+
+(* --- expression evaluation ------------------------------------------ *)
+
+let bool_val b = Value.Int (if b then 1 else 0)
+
+let as_int label = function
+  | Value.Int n -> n
+  | v -> model_error "%s: expected int, got %s" label (Value.to_string v)
+
+let rec eval regs (e : Instr.expr) : Value.t =
+  let int2 op a b =
+    Value.Int (op (as_int "arith" (eval regs a)) (as_int "arith" (eval regs b)))
+  in
+  let cmp op a b =
+    bool_val (op (as_int "cmp" (eval regs a)) (as_int "cmp" (eval regs b)))
+  in
+  match e with
+  | Const v -> v
+  | Reg r -> (
+    match Smap.find_opt r regs with
+    | Some v -> v
+    | None -> model_error "read of unset register %s" r)
+  | Add (a, b) -> int2 ( + ) a b
+  | Sub (a, b) -> int2 ( - ) a b
+  | Mul (a, b) -> int2 ( * ) a b
+  | Eq (a, b) -> bool_val (Value.equal (eval regs a) (eval regs b))
+  | Ne (a, b) -> bool_val (not (Value.equal (eval regs a) (eval regs b)))
+  | Lt (a, b) -> cmp ( < ) a b
+  | Le (a, b) -> cmp ( <= ) a b
+  | Gt (a, b) -> cmp ( > ) a b
+  | Ge (a, b) -> cmp ( >= ) a b
+  | And (a, b) ->
+    bool_val (Value.truthy (eval regs a) && Value.truthy (eval regs b))
+  | Or (a, b) ->
+    bool_val (Value.truthy (eval regs a) || Value.truthy (eval regs b))
+  | Not a -> bool_val (not (Value.truthy (eval regs a)))
+  | Is_null a -> bool_val (Value.is_null (eval regs a))
+
+(* Resolve an address expression.  KASAN-checks heap accesses; a bad base
+   pointer resolves to a failure instead of an address. *)
+let resolve t regs ~kind ~iid (a : Instr.addr_expr) :
+    (Addr.t, Failure.t) result =
+  match a with
+  | Global g -> Ok (Addr.Global g)
+  | Deref (e, field) -> (
+    match eval regs e with
+    | Value.Null | Value.Int 0 -> Error (Failure.Null_dereference { at = iid })
+    | Value.Int _ | Value.List _ ->
+      Error (Failure.General_protection_fault { at = iid })
+    | Value.Ptr p -> (
+      match Heap.check_access t.heap ~ptr:p ~index:None ~kind ~at:iid with
+      | Some f -> Error f
+      | None -> Ok (Addr.Field (p.obj, field))))
+  | At (e, idx) -> (
+    match eval regs e with
+    | Value.Null | Value.Int 0 -> Error (Failure.Null_dereference { at = iid })
+    | Value.Int _ | Value.List _ ->
+      Error (Failure.General_protection_fault { at = iid })
+    | Value.Ptr p ->
+      let i = as_int "index" (eval regs idx) in
+      (match Heap.check_access t.heap ~ptr:p ~index:(Some i) ~kind ~at:iid with
+      | Some f -> Error f
+      | None -> Ok (Addr.Index (p.obj, i))))
+
+(* --- stepping -------------------------------------------------------- *)
+
+let set_thread t th = { t with threads = Imap.add th.id th t.threads }
+
+let advance th = { th with pc = th.pc + 1 }
+
+let jump th target = { th with pc = Program.position_of_label th.program target }
+
+let finish_thread th = { th with status = Done }
+
+let spawn t ~entry ~context ~parent ~arg =
+  let program = Program.find_entry t.group entry in
+  let id = t.next_tid in
+  let name = Fmt.str "%s.%d" entry id in
+  let th =
+    make_thread ~id ~name ~base:entry ~context ~program ~parent:(Some parent)
+      ~arg
+  in
+  ({ t with threads = Imap.add id th t.threads; next_tid = id + 1 }, id)
+
+let no_event iid instr src (th : thread) t =
+  { iid; instr; src; access = None; spawned = []; lock_op = None;
+    context = th.context; thread_name = th.name }
+  |> fun e -> (t, e)
+
+(* Execute one instruction of [tid].  On failure manifestation the machine
+   records the failure and the faulting event is still returned (the
+   access that crashed did happen — it is typically one end of the racing
+   pair AITIA reasons about). *)
+let step t tid : (t * event, step_error) result =
+  match t.failure with
+  | Some _ -> Error Machine_failed
+  | None -> (
+    let th = find_thread t tid in
+    match th.status with
+    | Done -> Error Thread_not_runnable
+    | Runnable ->
+      if th.pc >= Program.length th.program then Error Thread_not_runnable
+      else (
+        let { Program.label; instr; src } = Program.get th.program th.pc in
+        let occ = (Option.value ~default:0 (Smap.find_opt label th.occ)) + 1 in
+        let iid = Access.Iid.make ~tid ~label ~occ in
+        let th = { th with occ = Smap.add label occ th.occ } in
+        let t = { t with clock = t.clock + 1 } in
+        let held =
+          Smap.fold
+            (fun l holder acc -> if holder = tid then l :: acc else acc)
+            t.locks []
+        in
+        let mk_access addr kind =
+          Some { Access.iid; addr; kind; time = t.clock; held }
+        in
+        let fail t f = { t with failure = Some f } in
+        let base_event =
+          { iid; instr; src; access = None; spawned = []; lock_op = None;
+            context = th.context; thread_name = th.name }
+        in
+        let store_result ~addr ~kind t' th' =
+          (set_thread t' (advance th'), { base_event with access = mk_access addr kind })
+        in
+        (* The access a faulting instruction was attempting, when its base
+           pointer is known: KASAN reports it, and it is usually one end
+           of the racing pair AITIA reasons about. *)
+        let attempted_access (a : Instr.addr_expr) kind =
+          match a with
+          | Instr.Deref (e, f') -> (
+            match eval th.regs e with
+            | Value.Ptr p -> mk_access (Addr.Field (p.obj, f')) kind
+            | Value.Int _ | Value.Null | Value.List _ -> None)
+          | Instr.At (e, idx) -> (
+            match eval th.regs e with
+            | Value.Ptr p -> (
+              match eval th.regs idx with
+              | Value.Int i -> mk_access (Addr.Index (p.obj, i)) kind
+              | Value.Ptr _ | Value.Null | Value.List _ -> None)
+            | Value.Int _ | Value.Null | Value.List _ -> None)
+          | Instr.Global gname -> mk_access (Addr.Global gname) kind
+        in
+        match instr with
+        | Instr.Nop -> Ok (no_event iid instr src th (set_thread t (advance th)))
+        | Instr.Assign { dst; src = e } ->
+          let v = eval th.regs e in
+          let th = advance { th with regs = Smap.add dst v th.regs } in
+          Ok (no_event iid instr src th (set_thread t th))
+        | Instr.Branch_if { cond; target } ->
+          let th =
+            if Value.truthy (eval th.regs cond) then jump th target
+            else advance th
+          in
+          Ok (no_event iid instr src th (set_thread t th))
+        | Instr.Goto target ->
+          let th = jump th target in
+          Ok (no_event iid instr src th (set_thread t th))
+        | Instr.Return ->
+          let th = finish_thread th in
+          Ok (no_event iid instr src th (set_thread t th))
+        | Instr.Load { dst; src = a } -> (
+          match resolve t th.regs ~kind:Instr.Read ~iid a with
+          | Error f ->
+            Ok (fail t f, { base_event with access = attempted_access a Instr.Read })
+          | Ok addr ->
+            let v = mem_read t addr in
+            let th = { th with regs = Smap.add dst v th.regs } in
+            Ok (store_result ~addr ~kind:Instr.Read t th))
+        | Instr.Store { dst = a; src = e } -> (
+          match resolve t th.regs ~kind:Instr.Write ~iid a with
+          | Error f ->
+            Ok (fail t f, { base_event with access = attempted_access a Instr.Write })
+          | Ok addr ->
+            let v = eval th.regs e in
+            let t = { t with mem = Addr.Map.add addr v t.mem } in
+            Ok (store_result ~addr ~kind:Instr.Write t th))
+        | Instr.Rmw { ret; loc; delta } -> (
+          match resolve t th.regs ~kind:Instr.Update ~iid loc with
+          | Error f ->
+            Ok (fail t f, { base_event with access = attempted_access loc Instr.Update })
+          | Ok addr ->
+            let old = as_int "rmw" (mem_read t addr) in
+            let d = as_int "rmw delta" (eval th.regs delta) in
+            let t = { t with mem = Addr.Map.add addr (Value.Int (old + d)) t.mem } in
+            let th =
+              match ret with
+              | Some r -> { th with regs = Smap.add r (Value.Int old) th.regs }
+              | None -> th
+            in
+            Ok (store_result ~addr ~kind:Instr.Update t th))
+        | Instr.Alloc { dst; tag; fields; slots; leak_check } ->
+          let heap, obj = Heap.alloc t.heap ~tag ~slots ~leak_check ~at:iid in
+          let mem =
+            List.fold_left
+              (fun m (f, e) -> Addr.Map.add (Addr.Field (obj, f)) (eval th.regs e) m)
+              t.mem fields
+          in
+          let v = Value.ptr ~obj ~gen:0 in
+          let th = advance { th with regs = Smap.add dst v th.regs } in
+          Ok (no_event iid instr src th (set_thread { t with heap; mem } th))
+        | Instr.Free { ptr } -> (
+          match eval th.regs ptr with
+          | Value.Null | Value.Int 0 ->
+            (* kfree(NULL) is a no-op in the kernel. *)
+            Ok (no_event iid instr src th (set_thread t (advance th)))
+          | Value.Int _ | Value.List _ ->
+            Ok (fail t (Failure.Invalid_free { at = iid }), base_event)
+          | Value.Ptr p -> (
+            match Heap.free t.heap ~ptr:p ~at:iid with
+            | Error f ->
+              let access = mk_access (Addr.Whole p.obj) Instr.Write in
+              Ok (fail t f, { base_event with access })
+            | Ok heap ->
+              let t = { t with heap } in
+              Ok (store_result ~addr:(Addr.Whole p.obj) ~kind:Instr.Write t th)))
+        | Instr.Lock l -> (
+          match Smap.find_opt l t.locks with
+          | Some _ -> Error (Blocked_on_lock l)
+          | None ->
+            let t = { t with locks = Smap.add l tid t.locks } in
+            let th = advance th in
+            Ok
+              ( set_thread t th,
+                { base_event with lock_op = Some (l, `Acquire) } ))
+        | Instr.Unlock l -> (
+          match Smap.find_opt l t.locks with
+          | Some holder when holder = tid ->
+            let t = { t with locks = Smap.remove l t.locks } in
+            let th = advance th in
+            Ok
+              ( set_thread t th,
+                { base_event with lock_op = Some (l, `Release) } )
+          | Some _ | None ->
+            model_error "thread %d unlocks %s it does not hold" tid l)
+        | Instr.Queue_work { entry; arg } ->
+          let arg = eval th.regs arg in
+          let t, id =
+            spawn t ~entry ~context:Program.Kworker ~parent:tid ~arg:(Some arg)
+          in
+          let th = advance th in
+          Ok (set_thread t th, { base_event with spawned = [ (id, entry) ] })
+        | Instr.Call_rcu { entry; arg } ->
+          let arg = eval th.regs arg in
+          let t, id =
+            spawn t ~entry ~context:Program.Rcu_softirq ~parent:tid
+              ~arg:(Some arg)
+          in
+          let th = advance th in
+          Ok (set_thread t th, { base_event with spawned = [ (id, entry) ] })
+        | Instr.Arm_timer { entry; arg } ->
+          let arg = eval th.regs arg in
+          let t, id =
+            spawn t ~entry ~context:Program.Timer_softirq ~parent:tid
+              ~arg:(Some arg)
+          in
+          let th = advance th in
+          Ok (set_thread t th, { base_event with spawned = [ (id, entry) ] })
+        | Instr.Enable_irq { entry; arg } ->
+          let arg = eval th.regs arg in
+          let t, id =
+            spawn t ~entry ~context:Program.Hardirq ~parent:tid
+              ~arg:(Some arg)
+          in
+          let th = advance th in
+          Ok (set_thread t th, { base_event with spawned = [ (id, entry) ] })
+        | Instr.Bug_on e ->
+          if Value.truthy (eval th.regs e) then
+            Ok (fail t (Failure.Assertion_violation { at = iid }), base_event)
+          else Ok (no_event iid instr src th (set_thread t (advance th)))
+        | Instr.Warn_on e ->
+          if Value.truthy (eval th.regs e) then
+            Ok (fail t (Failure.Warning { at = iid }), base_event)
+          else Ok (no_event iid instr src th (set_thread t (advance th)))
+        | Instr.List_add { list; item } -> (
+          match resolve t th.regs ~kind:Instr.Write ~iid list with
+          | Error f -> Ok (fail t f, base_event)
+          | Ok addr -> (
+            match eval th.regs item with
+            | Value.Ptr p -> (
+              let cur =
+                match mem_read t addr with
+                | Value.List ps -> ps
+                | Value.Int 0 | Value.Null -> []
+                | v ->
+                  model_error "list_add on non-list value %s" (Value.to_string v)
+              in
+              if List.exists (fun q -> Value.ptr_equal p q) cur then
+                let f =
+                  Failure.List_corruption
+                    { at = iid; reason = "double list_add of the same entry" }
+                in
+                Ok (fail t f, { base_event with access = mk_access addr Instr.Write })
+              else
+                let t =
+                  { t with mem = Addr.Map.add addr (Value.List (p :: cur)) t.mem }
+                in
+                Ok (store_result ~addr ~kind:Instr.Write t th))
+            | v -> model_error "list_add of non-pointer %s" (Value.to_string v)))
+        | Instr.List_del { list; item } -> (
+          match resolve t th.regs ~kind:Instr.Write ~iid list with
+          | Error f -> Ok (fail t f, base_event)
+          | Ok addr -> (
+            match eval th.regs item with
+            | Value.Ptr p -> (
+              let cur =
+                match mem_read t addr with
+                | Value.List ps -> ps
+                | Value.Int 0 | Value.Null -> []
+                | v ->
+                  model_error "list_del on non-list value %s" (Value.to_string v)
+              in
+              if not (List.exists (fun q -> Value.ptr_equal p q) cur) then
+                let f =
+                  Failure.List_corruption
+                    { at = iid; reason = "list_del of entry not on the list" }
+                in
+                Ok (fail t f, { base_event with access = mk_access addr Instr.Write })
+              else
+                let cur' =
+                  List.filter (fun q -> not (Value.ptr_equal p q)) cur
+                in
+                let t =
+                  { t with mem = Addr.Map.add addr (Value.List cur') t.mem }
+                in
+                Ok (store_result ~addr ~kind:Instr.Write t th))
+            | v -> model_error "list_del of non-pointer %s" (Value.to_string v)))
+        | Instr.List_contains { dst; list; item } -> (
+          match resolve t th.regs ~kind:Instr.Read ~iid list with
+          | Error f -> Ok (fail t f, base_event)
+          | Ok addr ->
+            let cur =
+              match mem_read t addr with
+              | Value.List ps -> ps
+              | _ -> []
+            in
+            let present =
+              match eval th.regs item with
+              | Value.Ptr p -> List.exists (fun q -> Value.ptr_equal p q) cur
+              | _ -> false
+            in
+            let th = { th with regs = Smap.add dst (bool_val present) th.regs } in
+            Ok (store_result ~addr ~kind:Instr.Read t th))
+        | Instr.List_empty { dst; list } -> (
+          match resolve t th.regs ~kind:Instr.Read ~iid list with
+          | Error f -> Ok (fail t f, base_event)
+          | Ok addr ->
+            let empty =
+              match mem_read t addr with
+              | Value.List (_ :: _) -> false
+              | Value.List [] | _ -> true
+            in
+            let th = { th with regs = Smap.add dst (bool_val empty) th.regs } in
+            Ok (store_result ~addr ~kind:Instr.Read t th))
+        | Instr.List_first { dst; list } -> (
+          match resolve t th.regs ~kind:Instr.Read ~iid list with
+          | Error f -> Ok (fail t f, base_event)
+          | Ok addr ->
+            let v =
+              match mem_read t addr with
+              | Value.List (p :: _) -> Value.Ptr p
+              | Value.List [] | _ -> Value.Null
+            in
+            let th = { th with regs = Smap.add dst v th.regs } in
+            Ok (store_result ~addr ~kind:Instr.Read t th))
+        | Instr.Ref_get { loc } -> (
+          match resolve t th.regs ~kind:Instr.Update ~iid loc with
+          | Error f ->
+            Ok (fail t f, { base_event with access = attempted_access loc Instr.Update })
+          | Ok addr ->
+            let old = as_int "refcount" (mem_read t addr) in
+            if old <= 0 then
+              (* refcount_inc on zero: object already dying. *)
+              Ok (fail t (Failure.Warning { at = iid }),
+                  { base_event with access = mk_access addr Instr.Update })
+            else
+              let t =
+                { t with mem = Addr.Map.add addr (Value.Int (old + 1)) t.mem }
+              in
+              Ok (store_result ~addr ~kind:Instr.Update t th))
+        | Instr.Ref_put { ret; loc } -> (
+          match resolve t th.regs ~kind:Instr.Update ~iid loc with
+          | Error f ->
+            Ok (fail t f, { base_event with access = attempted_access loc Instr.Update })
+          | Ok addr ->
+            let old = as_int "refcount" (mem_read t addr) in
+            if old <= 0 then
+              (* refcount underflow: WARNING, as the kernel's refcount_t. *)
+              Ok (fail t (Failure.Warning { at = iid }),
+                  { base_event with access = mk_access addr Instr.Update })
+            else
+              let t =
+                { t with mem = Addr.Map.add addr (Value.Int (old - 1)) t.mem }
+              in
+              let th =
+                match ret with
+                | Some r ->
+                  { th with regs = Smap.add r (Value.Int (old - 1)) th.regs }
+                | None -> th
+              in
+              Ok (store_result ~addr ~kind:Instr.Update t th))))
+
+(* End-of-run leak detection: once every thread has finished, objects
+   flagged [leak_check] that were never freed constitute a memory leak. *)
+let check_leaks t =
+  match t.failure with
+  | Some _ -> t
+  | None ->
+    if not (all_done t) then t
+    else (
+      match Heap.leaked t.heap with
+      | [] -> t
+      | objs -> { t with failure = Some (Failure.Memory_leak { objs }) })

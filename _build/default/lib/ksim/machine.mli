@@ -1,0 +1,90 @@
+(** The kernel machine: a deterministic, sequentially consistent
+    interpreter over a program group.
+
+    The machine is a persistent value: [step] returns a new machine, so
+    a snapshot is just keeping the old value — this is what the AITIA
+    hypervisor's "revert the memory contents of the reproducer" becomes
+    on this substrate.  A scheduler above (see {!Hypervisor.Controller})
+    decides which thread steps next; the machine has no policy. *)
+
+exception Model_error of string
+(** A malformed bug model (unset register, unlock of a lock not held,
+    list op on a non-list value) — a bug in the model, not a kernel
+    failure. *)
+
+type t
+
+(** What one executed instruction did. *)
+type event = {
+  iid : Access.Iid.t;
+  instr : Instr.t;
+  src : Program.loc;
+  access : Access.t option;       (** the shared-memory access, if any *)
+  spawned : (int * string) list;  (** (tid, entry) of new kthreads *)
+  lock_op : (string * [ `Acquire | `Release ]) option;
+  context : Program.context;
+  thread_name : string;
+}
+
+type step_error =
+  | Blocked_on_lock of string
+  | Thread_not_runnable
+  | Machine_failed
+
+val create : Program.group -> t
+(** A fresh machine: top-level threads ready, globals initialized,
+    heap empty. *)
+
+(** {1 Inspection} *)
+
+val failed : t -> Failure.t option
+val clock : t -> int
+val thread_ids : t -> int list
+val has_thread : t -> int -> bool
+
+val has_started : t -> int -> bool
+(** Has [tid] executed at least one instruction? *)
+
+val occurrences : t -> int -> string -> int
+(** How many times thread [tid] has executed instruction [label]. *)
+
+val thread_name : t -> int -> string
+
+val thread_base : t -> int -> string
+(** Stable identity across runs of the same group: the thread-spec name
+    for top-level threads, the entry name for spawned kthreads. *)
+
+val thread_context : t -> int -> Program.context
+val thread_parent : t -> int -> int option
+
+val next_labeled : t -> int -> Program.labeled option
+val next_label : t -> int -> string option
+val is_done : t -> int -> bool
+
+val blocked_on : t -> int -> string option
+(** The lock [tid] would block on if stepped now, if any.  Kernel
+    spinlocks do not re-enter: holding the lock yourself blocks too. *)
+
+val lock_holder : t -> string -> int option
+
+val runnable : t -> int list
+(** Threads that can step: not done, not lock-blocked, machine healthy. *)
+
+val all_done : t -> bool
+val reg : t -> int -> string -> Value.t option
+val mem_read : t -> Addr.t -> Value.t
+(** Unwritten memory reads as zero. *)
+
+val live_objects : t -> int
+
+(** {1 Stepping} *)
+
+val step : t -> int -> (t * event, step_error) result
+(** Execute one instruction of [tid].  On failure manifestation the new
+    machine records the failure and the faulting event (including the
+    attempted access, when its base pointer is known) is still
+    returned. *)
+
+val check_leaks : t -> t
+(** Once every thread finished: flag still-live [leak_check] objects as
+    a {!Failure.Memory_leak}. *)

@@ -1,0 +1,161 @@
+(* Programs, threads and program groups.
+
+   A program is a straight array of labeled instructions; control flow is
+   by label.  A group bundles the concurrently executed top-level threads
+   (system calls in the paper's terms), the registered background-thread
+   entry points reachable via queue_work/call_rcu/arm_timer, the global
+   variables and their initial values, and the declared locks. *)
+
+type loc = {
+  func : string;       (* kernel function name, for reports *)
+  line : int;          (* line number in the modeled source *)
+}
+
+let loc ?(func = "?") ?(line = 0) () = { func; line }
+
+type labeled = {
+  label : string;      (* unique within the program, e.g. "A6" *)
+  instr : Instr.t;
+  src : loc;
+}
+
+type t = {
+  name : string;                       (* program name, e.g. "setsockopt" *)
+  code : labeled array;
+  index : (string, int) Hashtbl.t;     (* label -> position *)
+}
+
+exception Duplicate_label of string
+exception Unknown_label of string
+
+let make ~name instrs =
+  let code = Array.of_list instrs in
+  let index = Hashtbl.create (Array.length code) in
+  Array.iteri
+    (fun i { label; _ } ->
+      if Hashtbl.mem index label then raise (Duplicate_label label);
+      Hashtbl.add index label i)
+    code;
+  (* Validate branch targets eagerly: a dangling goto is a bug in the
+     model, not a runtime condition. *)
+  Array.iter
+    (fun { instr; _ } ->
+      match instr with
+      | Instr.Branch_if { target; _ } | Instr.Goto target ->
+        if not (Hashtbl.mem index target) then raise (Unknown_label target)
+      | _ -> ())
+    code;
+  { name; code; index }
+
+let length p = Array.length p.code
+let get p i = p.code.(i)
+let position_of_label p label =
+  match Hashtbl.find_opt p.index label with
+  | Some i -> i
+  | None -> raise (Unknown_label label)
+
+let labels p = Array.to_list (Array.map (fun l -> l.label) p.code)
+
+(* The kind of execution context a thread models; mirrors the contexts
+   AITIA controls (system calls, softirq for RCU, kworkerd, timers). *)
+type context =
+  | Syscall of { call : string; sysno : int }
+  | Kworker
+  | Rcu_softirq
+  | Timer_softirq
+  | Hardirq
+
+let pp_context ppf = function
+  | Syscall { call; _ } -> Fmt.pf ppf "syscall:%s" call
+  | Kworker -> Fmt.string ppf "kworkerd"
+  | Rcu_softirq -> Fmt.string ppf "rcu"
+  | Timer_softirq -> Fmt.string ppf "timer"
+  | Hardirq -> Fmt.string ppf "hardirq"
+
+type thread_spec = {
+  spec_name : string;   (* display name, e.g. "A" *)
+  context : context;
+  program : t;
+  (* Resource tags (file descriptors, socket ids) this thread touches;
+     the slicer uses them to close slices over open/close semantics. *)
+  resources : string list;
+}
+
+type group = {
+  group_name : string;
+  threads : thread_spec list;                 (* top-level concurrent threads *)
+  entries : (string * t) list;                (* background entry points *)
+  globals : (string * Value.t) list;          (* initial global values *)
+  locks : string list;
+}
+
+let group ?(entries = []) ?(globals = []) ?(locks = []) ~name threads =
+  (* Entry names must be unique and resolvable. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (n, _) ->
+      if Hashtbl.mem seen n then raise (Duplicate_label n);
+      Hashtbl.add seen n ())
+    entries;
+  { group_name = name; threads; entries; globals; locks }
+
+let find_entry group name =
+  match List.assoc_opt name group.entries with
+  | Some p -> p
+  | None -> raise (Unknown_label name)
+
+(* Builder eDSL: lets bug models read like the paper's code snippets. *)
+module Build = struct
+  open Instr
+
+  let i ?func ?line label instr = { label; instr; src = loc ?func ?line () }
+
+  let load ?func ?line label dst src = i ?func ?line label (Load { dst; src })
+  let store ?func ?line label dst src = i ?func ?line label (Store { dst; src })
+  let rmw ?func ?line ?ret label loc' delta =
+    i ?func ?line label (Rmw { ret; loc = loc'; delta })
+  let assign ?func ?line label dst src =
+    i ?func ?line label (Assign { dst; src })
+  let branch_if ?func ?line label cond target =
+    i ?func ?line label (Branch_if { cond; target })
+  let goto ?func ?line label target = i ?func ?line label (Goto target)
+  let return ?func ?line label = i ?func ?line label Return
+  let nop ?func ?line label = i ?func ?line label Nop
+  let alloc ?func ?line ?(fields = []) ?(slots = 0) ?(leak_check = false)
+      label dst tag =
+    i ?func ?line label (Alloc { dst; tag; fields; slots; leak_check })
+  let free ?func ?line label ptr = i ?func ?line label (Free { ptr })
+  let lock ?func ?line label l = i ?func ?line label (Lock l)
+  let unlock ?func ?line label l = i ?func ?line label (Unlock l)
+  let queue_work ?func ?line ?(arg = Const Value.Null) label entry =
+    i ?func ?line label (Queue_work { entry; arg })
+  let call_rcu ?func ?line ?(arg = Const Value.Null) label entry =
+    i ?func ?line label (Call_rcu { entry; arg })
+  let arm_timer ?func ?line ?(arg = Const Value.Null) label entry =
+    i ?func ?line label (Arm_timer { entry; arg })
+  let enable_irq ?func ?line ?(arg = Const Value.Null) label entry =
+    i ?func ?line label (Enable_irq { entry; arg })
+  let bug_on ?func ?line label e = i ?func ?line label (Bug_on e)
+  let warn_on ?func ?line label e = i ?func ?line label (Warn_on e)
+  let list_add ?func ?line label list item =
+    i ?func ?line label (List_add { list; item })
+  let list_del ?func ?line label list item =
+    i ?func ?line label (List_del { list; item })
+  let list_contains ?func ?line label dst list item =
+    i ?func ?line label (List_contains { dst; list; item })
+  let list_empty ?func ?line label dst list =
+    i ?func ?line label (List_empty { dst; list })
+  let list_first ?func ?line label dst list =
+    i ?func ?line label (List_first { dst; list })
+  let ref_get ?func ?line label loc' = i ?func ?line label (Ref_get { loc = loc' })
+  let ref_put ?func ?line ?ret label loc' =
+    i ?func ?line label (Ref_put { ret; loc = loc' })
+
+  (* Expression shorthands. *)
+  let cint n = Const (Value.Int n)
+  let cnull = Const Value.Null
+  let reg r = Reg r
+  let g name = Global name
+  let ( **-> ) e f = Deref (e, f)
+  let ( **@ ) e idx = At (e, idx)
+end

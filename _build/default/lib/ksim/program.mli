@@ -1,0 +1,123 @@
+(** Programs, thread specifications and program groups. *)
+
+type loc = {
+  func : string;  (** modeled kernel function, for reports *)
+  line : int;     (** line number in the modeled source *)
+}
+
+val loc : ?func:string -> ?line:int -> unit -> loc
+
+type labeled = {
+  label : string;  (** unique within the program, e.g. ["A6"] *)
+  instr : Instr.t;
+  src : loc;
+}
+
+type t
+(** A program: an array of labeled instructions; control flow by label. *)
+
+exception Duplicate_label of string
+exception Unknown_label of string
+
+val make : name:string -> labeled list -> t
+(** Validates label uniqueness and branch targets eagerly.
+    @raise Duplicate_label @raise Unknown_label on malformed programs. *)
+
+val length : t -> int
+val get : t -> int -> labeled
+val position_of_label : t -> string -> int
+val labels : t -> string list
+
+(** The execution contexts AITIA controls (§3.1). *)
+type context =
+  | Syscall of { call : string; sysno : int }
+  | Kworker
+  | Rcu_softirq
+  | Timer_softirq
+  | Hardirq
+
+val pp_context : context Fmt.t
+
+type thread_spec = {
+  spec_name : string;        (** display name, e.g. ["A"] *)
+  context : context;
+  program : t;
+  resources : string list;   (** fds/sockets, for slice resource closure *)
+}
+
+type group = {
+  group_name : string;
+  threads : thread_spec list;          (** top-level concurrent threads *)
+  entries : (string * t) list;         (** background entry points *)
+  globals : (string * Value.t) list;   (** initial global values *)
+  locks : string list;
+}
+
+val group :
+  ?entries:(string * t) list ->
+  ?globals:(string * Value.t) list ->
+  ?locks:string list ->
+  name:string ->
+  thread_spec list ->
+  group
+
+val find_entry : group -> string -> t
+
+(** Builder eDSL: bug models read like the paper's code snippets.  Each
+    constructor takes the instruction label first; [?func]/[?line] attach
+    source locations. *)
+module Build : sig
+  val i : ?func:string -> ?line:int -> string -> Instr.t -> labeled
+  val load : ?func:string -> ?line:int -> string -> Instr.reg ->
+    Instr.addr_expr -> labeled
+  val store : ?func:string -> ?line:int -> string -> Instr.addr_expr ->
+    Instr.expr -> labeled
+  val rmw : ?func:string -> ?line:int -> ?ret:Instr.reg -> string ->
+    Instr.addr_expr -> Instr.expr -> labeled
+  val assign : ?func:string -> ?line:int -> string -> Instr.reg ->
+    Instr.expr -> labeled
+  val branch_if : ?func:string -> ?line:int -> string -> Instr.expr ->
+    string -> labeled
+  val goto : ?func:string -> ?line:int -> string -> string -> labeled
+  val return : ?func:string -> ?line:int -> string -> labeled
+  val nop : ?func:string -> ?line:int -> string -> labeled
+  val alloc : ?func:string -> ?line:int ->
+    ?fields:(string * Instr.expr) list -> ?slots:int -> ?leak_check:bool ->
+    string -> Instr.reg -> string -> labeled
+  val free : ?func:string -> ?line:int -> string -> Instr.expr -> labeled
+  val lock : ?func:string -> ?line:int -> string -> Instr.lock_id -> labeled
+  val unlock : ?func:string -> ?line:int -> string -> Instr.lock_id -> labeled
+  val queue_work : ?func:string -> ?line:int -> ?arg:Instr.expr -> string ->
+    string -> labeled
+  val call_rcu : ?func:string -> ?line:int -> ?arg:Instr.expr -> string ->
+    string -> labeled
+  val arm_timer : ?func:string -> ?line:int -> ?arg:Instr.expr -> string ->
+    string -> labeled
+  val enable_irq : ?func:string -> ?line:int -> ?arg:Instr.expr -> string ->
+    string -> labeled
+  val bug_on : ?func:string -> ?line:int -> string -> Instr.expr -> labeled
+  val warn_on : ?func:string -> ?line:int -> string -> Instr.expr -> labeled
+  val list_add : ?func:string -> ?line:int -> string -> Instr.addr_expr ->
+    Instr.expr -> labeled
+  val list_del : ?func:string -> ?line:int -> string -> Instr.addr_expr ->
+    Instr.expr -> labeled
+  val list_contains : ?func:string -> ?line:int -> string -> Instr.reg ->
+    Instr.addr_expr -> Instr.expr -> labeled
+  val list_empty : ?func:string -> ?line:int -> string -> Instr.reg ->
+    Instr.addr_expr -> labeled
+  val list_first : ?func:string -> ?line:int -> string -> Instr.reg ->
+    Instr.addr_expr -> labeled
+  val ref_get : ?func:string -> ?line:int -> string -> Instr.addr_expr ->
+    labeled
+  val ref_put : ?func:string -> ?line:int -> ?ret:Instr.reg -> string ->
+    Instr.addr_expr -> labeled
+
+  (** Expression shorthands. *)
+
+  val cint : int -> Instr.expr
+  val cnull : Instr.expr
+  val reg : Instr.reg -> Instr.expr
+  val g : string -> Instr.addr_expr
+  val ( **-> ) : Instr.expr -> string -> Instr.addr_expr
+  val ( **@ ) : Instr.expr -> Instr.expr -> Instr.addr_expr
+end

@@ -1,0 +1,57 @@
+(* Runtime values of the kernel simulator.
+
+   A pointer carries the identity of the heap object (or global region) it
+   points into together with the allocation generation, so that the
+   sanitizer can tell a dangling pointer from a fresh one even when the
+   allocator reuses object slots. *)
+
+type obj_id = int
+
+type ptr = {
+  obj : obj_id;  (* heap object identity *)
+  gen : int;     (* allocation generation of [obj] when the pointer was made *)
+}
+
+type t =
+  | Int of int
+  | Ptr of ptr
+  | Null
+  | List of ptr list  (* a kernel list head: the members, front first *)
+
+let null = Null
+let int n = Int n
+let ptr ~obj ~gen = Ptr { obj; gen }
+
+let is_null = function
+  | Null | Int 0 -> true
+  | Int _ | Ptr _ | List _ -> false
+
+(* Kernel C treats any non-zero value as true; an empty list head is a
+   valid (true) pointer to itself. *)
+let truthy = function
+  | Null -> false
+  | Int 0 -> false
+  | Int _ | Ptr _ | List _ -> true
+
+let ptr_equal p q = p.obj = q.obj && p.gen = q.gen
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Ptr p, Ptr q -> ptr_equal p q
+  | Null, Null -> true
+  | (Null | Int 0), (Null | Int 0) -> true
+  | List xs, List ys ->
+    List.length xs = List.length ys && List.for_all2 ptr_equal xs ys
+  | (Int _ | Ptr _ | Null | List _), _ -> false
+
+let pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Ptr p -> Fmt.pf ppf "&obj%d.g%d" p.obj p.gen
+  | Null -> Fmt.string ppf "NULL"
+  | List ps ->
+    Fmt.pf ppf "[%a]"
+      (Fmt.list ~sep:(Fmt.any "; ") (fun ppf p -> Fmt.pf ppf "obj%d" p.obj))
+      ps
+
+let to_string v = Fmt.str "%a" pp v

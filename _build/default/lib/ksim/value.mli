@@ -1,0 +1,35 @@
+(** Runtime values of the kernel simulator. *)
+
+type obj_id = int
+(** Identity of a heap object; never reused within a run. *)
+
+type ptr = {
+  obj : obj_id;  (** the heap object pointed into *)
+  gen : int;     (** allocation generation when the pointer was made *)
+}
+(** A pointer value.  The generation lets the sanitizer distinguish a
+    dangling pointer from a fresh one even under allocator reuse. *)
+
+type t =
+  | Int of int
+  | Ptr of ptr
+  | Null
+  | List of ptr list  (** a kernel list head: the members, front first *)
+
+val null : t
+val int : int -> t
+val ptr : obj:obj_id -> gen:int -> t
+
+val is_null : t -> bool
+(** [is_null v] — [Null] and [Int 0] are NULL, as in kernel C. *)
+
+val truthy : t -> bool
+(** Kernel C truthiness: any non-zero value is true. *)
+
+val ptr_equal : ptr -> ptr -> bool
+
+val equal : t -> t -> bool
+(** Structural equality; [Null] equals [Int 0]. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/trace/crash.ml: Fmt Ksim Option String

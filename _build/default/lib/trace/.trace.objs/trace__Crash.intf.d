@@ -1,0 +1,1 @@
+lib/trace/crash.mli: Fmt Ksim

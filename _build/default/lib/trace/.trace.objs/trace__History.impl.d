@@ -1,0 +1,1 @@
+lib/trace/history.ml: Crash Event Float Fmt Hashtbl Ksim List

@@ -1,0 +1,1 @@
+lib/trace/slicer.ml: Array Crash Float Fmt Fun Hashtbl History List Option

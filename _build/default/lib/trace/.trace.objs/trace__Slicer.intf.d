@@ -1,0 +1,1 @@
+lib/trace/slicer.mli: Fmt History

@@ -1,0 +1,33 @@
+(* Crash reports: the coredump-derived failure information AITIA starts
+   from.  Modeling identifies the symptom of the failure and its
+   location (§4.2). *)
+
+type t = {
+  symptom : string;            (* e.g. "KASAN: use-after-free" *)
+  location : string option;    (* faulting instruction label, if any *)
+  subsystem : string;          (* e.g. "Packet socket" *)
+  report_time : float;         (* when the crash was observed *)
+}
+
+let of_failure ~subsystem ~report_time (f : Ksim.Failure.t) =
+  { symptom = Ksim.Failure.symptom f;
+    location =
+      Option.map (fun (i : Ksim.Access.Iid.t) -> i.label)
+        (Ksim.Failure.location f);
+    subsystem;
+    report_time }
+
+(* Does a failure observed during reproduction match this report?  The
+   modeling stage compares symptom class and faulting location. *)
+let matches t (f : Ksim.Failure.t) =
+  String.equal t.symptom (Ksim.Failure.symptom f)
+  &&
+  match t.location, Ksim.Failure.location f with
+  | Some l, Some at -> String.equal l at.Ksim.Access.Iid.label
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let pp ppf t =
+  Fmt.pf ppf "%s in %s%a" t.symptom t.subsystem
+    (Fmt.option (fun ppf l -> Fmt.pf ppf " at %s" l))
+    t.location

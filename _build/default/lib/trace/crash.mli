@@ -1,0 +1,18 @@
+(** Crash reports: the coredump-derived failure information AITIA
+    starts from — a symptom and a faulting location (§4.2). *)
+
+type t = {
+  symptom : string;          (** e.g. ["KASAN: use-after-free"] *)
+  location : string option;  (** faulting instruction label, if any *)
+  subsystem : string;
+  report_time : float;
+}
+
+val of_failure :
+  subsystem:string -> report_time:float -> Ksim.Failure.t -> t
+
+val matches : t -> Ksim.Failure.t -> bool
+(** Does a failure observed during reproduction match this report?
+    Symptom class and faulting location must agree. *)
+
+val pp : t Fmt.t

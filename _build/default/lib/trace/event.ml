@@ -1,0 +1,47 @@
+(* Timestamped kernel events, as obtained from ftrace in the paper.
+
+   The execution history consists of executed system calls with their
+   parameters and kernel events such as invocations of kernel background
+   threads, with the source of the invocation; all entries carry a
+   fine-grained timestamp so concurrency is identifiable (§4.2). *)
+
+type kind =
+  | Syscall_enter of {
+      call : string;            (* e.g. "setsockopt" *)
+      thread : string;          (* user thread name, e.g. "A" *)
+      resources : string list;  (* fds / socket ids the call touches *)
+    }
+  | Syscall_exit of { call : string; thread : string }
+  | Kthread_invoked of {
+      entry : string;                  (* work-function name *)
+      source : string;                 (* invoking thread *)
+      context : Ksim.Program.context;  (* kworkerd / RCU / timer *)
+    }
+  | Kthread_done of { entry : string }
+
+type t = {
+  time : float;  (* seconds, fine-grained *)
+  kind : kind;
+}
+
+let time e = e.time
+
+let thread_of e =
+  match e.kind with
+  | Syscall_enter { thread; _ } | Syscall_exit { thread; _ } -> Some thread
+  | Kthread_invoked { entry; _ } | Kthread_done { entry } -> Some entry
+
+let pp_kind ppf = function
+  | Syscall_enter { call; thread; resources } ->
+    Fmt.pf ppf "enter %s [%s]%a" call thread
+      (fun ppf -> function
+        | [] -> ()
+        | rs -> Fmt.pf ppf " res=%a" (Fmt.list ~sep:Fmt.comma Fmt.string) rs)
+      resources
+  | Syscall_exit { call; thread } -> Fmt.pf ppf "exit %s [%s]" call thread
+  | Kthread_invoked { entry; source; context } ->
+    Fmt.pf ppf "invoke %s (%a) from %s" entry Ksim.Program.pp_context context
+      source
+  | Kthread_done { entry } -> Fmt.pf ppf "done %s" entry
+
+let pp ppf e = Fmt.pf ppf "%8.6f %a" e.time pp_kind e.kind

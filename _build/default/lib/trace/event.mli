@@ -1,0 +1,29 @@
+(** Timestamped kernel events, as obtained from ftrace in the paper
+    (§4.2): executed system calls and invocations of kernel background
+    threads, with fine-grained timestamps that make concurrency
+    identifiable. *)
+
+type kind =
+  | Syscall_enter of {
+      call : string;
+      thread : string;
+      resources : string list;  (** fds/sockets the call touches *)
+    }
+  | Syscall_exit of { call : string; thread : string }
+  | Kthread_invoked of {
+      entry : string;
+      source : string;                 (** invoking thread *)
+      context : Ksim.Program.context;  (** kworkerd / RCU / timer *)
+    }
+  | Kthread_done of { entry : string }
+
+type t = {
+  time : float;
+  kind : kind;
+}
+
+val time : t -> float
+val thread_of : t -> string option
+
+val pp_kind : kind Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,67 @@
+(* The execution history: a time-ordered event log plus the crash report.
+
+   AITIA splits the history into groups of concurrently executed threads
+   (slices); a thread here is a system call or a kernel background
+   thread (§4.2, footnote 2). *)
+
+type t = {
+  events : Event.t list;  (* ascending by time *)
+  crash : Crash.t;
+}
+
+let make ~events ~crash =
+  let events =
+    List.sort (fun (a : Event.t) b -> Float.compare a.time b.time) events
+  in
+  { events; crash }
+
+let events t = t.events
+let crash t = t.crash
+
+(* An episode is one thread's active interval: a syscall between its
+   enter and exit, or a background thread between invocation and
+   completion. *)
+type episode = {
+  thread : string;             (* thread or entry name *)
+  call : string;               (* syscall or work-function name *)
+  start : float;
+  stop : float;                (* +inf if no exit was recorded (crashed) *)
+  resources : string list;
+  context : Ksim.Program.context;
+  source : string option;      (* who invoked a background thread *)
+}
+
+let pp_episode ppf e =
+  Fmt.pf ppf "%s:%s [%g, %g)" e.thread e.call e.start e.stop
+
+(* Pair up enter/exit (and invoke/done) events into episodes. *)
+let episodes t : episode list =
+  let open Event in
+  let pending : (string, episode) Hashtbl.t = Hashtbl.create 16 in
+  let finished = ref [] in
+  let close key stop =
+    match Hashtbl.find_opt pending key with
+    | Some ep ->
+      Hashtbl.remove pending key;
+      finished := { ep with stop } :: !finished
+    | None -> ()
+  in
+  List.iter
+    (fun ev ->
+      match ev.kind with
+      | Syscall_enter { call; thread; resources } ->
+        Hashtbl.replace pending thread
+          { thread; call; start = ev.time; stop = infinity; resources;
+            context = Ksim.Program.Syscall { call; sysno = 0 };
+            source = None }
+      | Syscall_exit { thread; _ } -> close thread ev.time
+      | Kthread_invoked { entry; source; context } ->
+        Hashtbl.replace pending entry
+          { thread = entry; call = entry; start = ev.time; stop = infinity;
+            resources = []; context; source = Some source }
+      | Kthread_done { entry } -> close entry ev.time)
+    t.events;
+  Hashtbl.iter (fun _ ep -> finished := ep :: !finished) pending;
+  List.sort (fun a b -> Float.compare a.start b.start) !finished
+
+let overlap a b = a.start < b.stop && b.start < a.stop

@@ -1,0 +1,29 @@
+(** The execution history: a time-ordered event log plus the crash
+    report.  A thread is a system call or a kernel background thread
+    (§4.2). *)
+
+type t
+
+val make : events:Event.t list -> crash:Crash.t -> t
+(** Events are sorted by timestamp. *)
+
+val events : t -> Event.t list
+val crash : t -> Crash.t
+
+(** One thread's active interval. *)
+type episode = {
+  thread : string;
+  call : string;
+  start : float;
+  stop : float;           (** [infinity] if never closed (crashed) *)
+  resources : string list;
+  context : Ksim.Program.context;
+  source : string option;  (** who invoked a background thread *)
+}
+
+val pp_episode : episode Fmt.t
+
+val episodes : t -> episode list
+(** Pair up enter/exit (and invoke/done) events, sorted by start time. *)
+
+val overlap : episode -> episode -> bool

@@ -1,0 +1,124 @@
+(* Slice construction (§4.2).
+
+   A slice is a group of concurrently executed threads.  AITIA creates
+   slices backward from the failure point (the root cause is likely close
+   to the failure), keeps cross-syscall semantics by pulling in the
+   open()/close() of any file descriptor used inside the slice, and
+   splits slices containing concurrent events so that each has at most
+   three threads (failures involving more than four contexts are rare,
+   footnote 3). *)
+
+type t = {
+  episodes : History.episode list;  (* the concurrent threads to replay *)
+  setup : History.episode list;     (* resource-closure prefix, run first *)
+  distance_from_failure : int;      (* 0 = the group containing the crash *)
+}
+
+let max_threads_per_slice = 3
+
+let threads t = List.map (fun (e : History.episode) -> e.thread) t.episodes
+
+let pp ppf t =
+  Fmt.pf ppf "slice@%d {%a}%a" t.distance_from_failure
+    (Fmt.list ~sep:Fmt.comma History.pp_episode)
+    t.episodes
+    (fun ppf -> function
+      | [] -> ()
+      | setup ->
+        Fmt.pf ppf " setup {%a}"
+          (Fmt.list ~sep:Fmt.comma History.pp_episode)
+          setup)
+    t.setup
+
+(* Group episodes into maximal sets of pairwise-overlapping intervals
+   (connected components of the temporal-overlap graph). *)
+let concurrency_groups (eps : History.episode list) :
+    History.episode list list =
+  let n = List.length eps in
+  let arr = Array.of_list eps in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if History.overlap arr.(i) arr.(j) then union i j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i ep ->
+      let r = find i in
+      Hashtbl.replace groups r (ep :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+    arr;
+  Hashtbl.fold (fun _ g acc -> List.rev g :: acc) groups []
+  |> List.sort (fun a b ->
+         let start g =
+           List.fold_left (fun m (e : History.episode) -> Float.min m e.start)
+             infinity g
+         in
+         Float.compare (start a) (start b))
+
+(* All combinations of [k] elements, preserving order. *)
+let rec choose k xs =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+      List.map (fun c -> x :: c) (choose (k - 1) rest) @ choose k rest
+
+(* Episodes that set up resources used by [group]: open/close-style calls
+   on the same resource that finished before the group started. *)
+let resource_closure (all : History.episode list)
+    (group : History.episode list) =
+  let used =
+    List.concat_map (fun (e : History.episode) -> e.resources) group
+  in
+  let group_start =
+    List.fold_left (fun m (e : History.episode) -> Float.min m e.start)
+      infinity group
+  in
+  List.filter
+    (fun (e : History.episode) ->
+      e.stop <= group_start
+      && (not (List.memq e group))
+      && List.exists (fun r -> List.mem r used) e.resources)
+    all
+
+(* Build candidate slices, nearest-to-failure first. *)
+let slices (history : History.t) : t list =
+  let eps = History.episodes history in
+  let crash_time = (History.crash history).Crash.report_time in
+  let groups =
+    concurrency_groups eps
+    (* Backward from the failure point: sort groups by how close their
+       end is to the crash, descending. *)
+    |> List.map (fun g ->
+           let stop =
+             List.fold_left
+               (fun m (e : History.episode) ->
+                 Float.max m (Float.min e.stop crash_time))
+               neg_infinity g
+           in
+           (stop, g))
+    |> List.sort (fun (a, _) (b, _) -> Float.compare b a)
+    |> List.map snd
+  in
+  let mk distance group =
+    { episodes = group;
+      setup = resource_closure eps group;
+      distance_from_failure = distance }
+  in
+  List.concat
+    (List.mapi
+       (fun distance group ->
+         if List.length group <= max_threads_per_slice then
+           [ mk distance group ]
+         else
+           (* Split an over-wide group into all 3-thread sub-slices;
+              keep sub-slices containing the latest episode first. *)
+           choose max_threads_per_slice group |> List.map (mk distance))
+       groups)

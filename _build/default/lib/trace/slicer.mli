@@ -1,0 +1,21 @@
+(** Slice construction (§4.2): groups of concurrently executed threads,
+    built backward from the failure point, closed over resource
+    open/close semantics, and split to at most three threads each. *)
+
+type t = {
+  episodes : History.episode list;  (** the concurrent threads *)
+  setup : History.episode list;     (** resource-closure prefix *)
+  distance_from_failure : int;      (** 0 = the group nearest the crash *)
+}
+
+val max_threads_per_slice : int
+
+val threads : t -> string list
+val pp : t Fmt.t
+
+val concurrency_groups : History.episode list -> History.episode list list
+(** Connected components of the temporal-overlap graph. *)
+
+val slices : History.t -> t list
+(** Candidate slices, nearest-to-failure first; over-wide groups are
+    split into all [max_threads_per_slice]-subsets. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Aitia Alcotest Baselines Bugs Ksim List String Trace

@@ -1,0 +1,1 @@
+test/test_bugs.ml: Aitia Alcotest Bugs Fmt Ksim Lazy List String

@@ -1,0 +1,1 @@
+test/test_core.ml: Aitia Alcotest Bugs Hypervisor Ksim List String Trace

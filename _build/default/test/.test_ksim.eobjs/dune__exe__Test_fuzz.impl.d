@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Aitia Alcotest Bugs Fuzz Ksim List Trace

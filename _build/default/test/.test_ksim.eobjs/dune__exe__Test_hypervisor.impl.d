@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Float Fmt Hypervisor Ksim List String

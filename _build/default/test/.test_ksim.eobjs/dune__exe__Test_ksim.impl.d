@@ -1,0 +1,1 @@
+test/test_ksim.ml: Access Addr Alcotest Failure Instr Kcov Ksim List Machine Map Program String Value

@@ -1,0 +1,1 @@
+test/test_props.ml: Aitia Alcotest Fmt Fun Fuzz Hypervisor Ksim List QCheck QCheck_alcotest String

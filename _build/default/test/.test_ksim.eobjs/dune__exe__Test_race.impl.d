@@ -1,0 +1,1 @@
+test/test_race.ml: Aitia Alcotest Fmt Hypervisor Ksim List

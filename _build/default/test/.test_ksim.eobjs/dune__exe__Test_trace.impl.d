@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Fmt Ksim List String Trace

@@ -1,0 +1,234 @@
+(* Integration suite: every modeled bug of the corpus must reproduce and
+   diagnose with the shape its metadata declares (Tables 2 and 3). *)
+
+module Iid = Ksim.Access.Iid
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Diagnose each bug once; the corpus is fast enough to run eagerly. *)
+let reports =
+  lazy
+    (List.map
+       (fun (bug : Bugs.Bug.t) ->
+         ( bug,
+           Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+             (bug.case ()) ))
+       Bugs.Registry.all)
+
+let report_of (bug : Bugs.Bug.t) =
+  List.assq bug (Lazy.force reports)
+
+let test_reproduced (bug : Bugs.Bug.t) () =
+  let r = report_of bug in
+  checkb "reproduced" true (Aitia.Diagnose.reproduced r)
+
+let test_interleavings (bug : Bugs.Bug.t) () =
+  let r = report_of bug in
+  checki "interleaving count" bug.expectation.exp_interleavings
+    r.lifs.stats.interleavings
+
+let test_chain_shape (bug : Bugs.Bug.t) () =
+  let r = report_of bug in
+  match r.chain with
+  | None -> Alcotest.fail "no chain"
+  | Some chain -> (
+    checkb "chain non-empty" true (Aitia.Chain.length chain > 0);
+    match bug.expectation.exp_chain_races with
+    | Some n -> checki "races in chain" n (Aitia.Chain.length chain)
+    | None -> ())
+
+let test_ambiguity (bug : Bugs.Bug.t) () =
+  let r = report_of bug in
+  match r.causality with
+  | None -> Alcotest.fail "no causality analysis"
+  | Some ca ->
+    checkb "ambiguity flag" bug.expectation.exp_ambiguous
+      (ca.ambiguous <> [])
+
+let test_kthread_involvement (bug : Bugs.Bug.t) () =
+  let r = report_of bug in
+  match r.chain with
+  | None -> Alcotest.fail "no chain"
+  | Some chain ->
+    let final =
+      match r.lifs.found with
+      | Some s -> s.outcome.final
+      | None -> Alcotest.fail "no failing run"
+    in
+    let has_kthread =
+      List.exists
+        (fun (race : Aitia.Race.t) ->
+          let bg tid =
+            match Ksim.Machine.thread_context final tid with
+            | Ksim.Program.Kworker | Ksim.Program.Rcu_softirq
+            | Ksim.Program.Timer_softirq | Ksim.Program.Hardirq -> true
+            | Ksim.Program.Syscall _ -> false
+          in
+          bg race.first.iid.Iid.tid || bg race.second.iid.Iid.tid)
+        (Aitia.Chain.races chain)
+    in
+    checkb "kernel-thread involvement" bug.expectation.exp_kthread
+      has_kthread
+
+let test_chain_has_no_noise (bug : Bugs.Bug.t) () =
+  let r = report_of bug in
+  match r.chain with
+  | None -> Alcotest.fail "no chain"
+  | Some chain ->
+    List.iter
+      (fun (race : Aitia.Race.t) ->
+        let is_noise (iid : Iid.t) =
+          let l = iid.label in
+          String.length l > 3
+          &&
+          let rec find i =
+            i + 3 <= String.length l
+            && (String.sub l i 3 = "_n_" || find (i + 1))
+          in
+          find 0
+        in
+        checkb "no benign statistics race in chain" false
+          (is_noise race.first.iid || is_noise race.second.iid))
+      (Aitia.Chain.races chain)
+
+let test_failure_type_matches (bug : Bugs.Bug.t) () =
+  let r = report_of bug in
+  match r.lifs.found with
+  | None -> Alcotest.fail "no failing run"
+  | Some s ->
+    let ok =
+      match bug.bug_type, s.failure with
+      | Bugs.Bug.Use_after_free,
+        (Ksim.Failure.Use_after_free _ | Ksim.Failure.Double_free _) -> true
+      | Bugs.Bug.Slab_out_of_bounds, Ksim.Failure.Out_of_bounds _ -> true
+      | Bugs.Bug.Assertion_violation,
+        (Ksim.Failure.Assertion_violation _ | Ksim.Failure.Warning _) -> true
+      | Bugs.Bug.General_protection_fault,
+        Ksim.Failure.General_protection_fault _ -> true
+      | Bugs.Bug.Memory_leak, Ksim.Failure.Memory_leak _ -> true
+      | Bugs.Bug.Null_dereference, Ksim.Failure.Null_dereference _ -> true
+      | Bugs.Bug.Refcount_warning, Ksim.Failure.Warning _ -> true
+      | Bugs.Bug.List_corruption, Ksim.Failure.List_corruption _ -> true
+      | _, _ -> false
+    in
+    checkb
+      (Fmt.str "failure type (%s)" (Ksim.Failure.symptom s.failure))
+      true ok
+
+(* Golden causality chains: lock in the exact diagnosis of every corpus
+   case, so any behavioural drift in the pipeline is caught verbatim. *)
+let golden_chains =
+  [ ("fig1", "(A1 => B1) --> (B2 => A2) --> null-ptr-deref");
+    ("fig4b", "(R1 => W1) --> KASAN: use-after-free");
+    ("fig5", "(A1 => B1) --> (K1 => A3_deref) --> KASAN: use-after-free");
+    ("fig7", "(A2 => B1) --> kernel BUG (BUG_ON)");
+    ("fig9", "(A1 => B1) --> (K1 => A2) --> KASAN: use-after-free");
+    ("cve-2019-11486",
+     "(B1 => A3) --> (A2 => B2) --> KASAN: use-after-free");
+    ("cve-2019-6974",
+     "(A1 => B1) --> (B5 => A2b) --> KASAN: use-after-free");
+    ("cve-2018-12232",
+     "(B1 => A2) --> (A3 => B2) --> KASAN: use-after-free");
+    ("cve-2017-15649",
+     "(B2 => A6) /\\ (A2 => B11) --> (A6 => B12) --> (B17 => A12) --> \
+      kernel BUG (BUG_ON)");
+    ("cve-2017-10661",
+     "(B1 => A3) --> list corruption (CONFIG_DEBUG_LIST)");
+    ("cve-2017-7533",
+     "(B1 => A3) /\\ (A2 => B2) --> KASAN: slab-out-of-bounds");
+    ("cve-2017-2671",
+     "(B1 => A2) --> (A1 => B2) --> general protection fault");
+    ("cve-2017-2636", "(B1 => A2) --> KASAN: double-free");
+    ("cve-2016-10200",
+     "(B0 => A0) --> (A2 => B1) --> kernel BUG (BUG_ON)");
+    ("cve-2016-8655",
+     "(B1 => A3) --> (A2 => B2) --> KASAN: use-after-free");
+    ("syz-01",
+     "(B1 => A1) --> (B2 => A2) /\\ (A3 => B4) --> KASAN: \
+      slab-out-of-bounds");
+    ("syz-02",
+     "(A1 => B1) --> (B2 => A2) --> (A3 => B3) --> (B4 => A4_ld) --> \
+      kernel BUG (BUG_ON)");
+    ("syz-03",
+     "(A1 => B1) --> (A2 => B2) --> (B3 => A3) --> KASAN: use-after-free");
+    ("syz-04", "(A1 => B1) --> (K1 => A2) --> KASAN: use-after-free");
+    ("syz-05", "(K1 => A2) --> KASAN: use-after-free");
+    ("syz-06",
+     "(B2 => A6) /\\ (A2 => B11) --> (A6 => B12) --> (B13 => A8) --> \
+      general protection fault");
+    ("syz-07", "(B1 => A2) --> (A3 => B2) --> KASAN: use-after-free");
+    ("syz-08",
+     "(B2 => A6) /\\ (A2 => B11) --> (A6 => B12) --> (B13 => A12) --> \
+      KASAN: use-after-free");
+    ("syz-09", "(A0 => B0) --> (A1 => B3) --> memory leak");
+    ("syz-10", "(A1 => B1) --> (K2 => A2) --> kernel BUG (BUG_ON)");
+    ("syz-11", "(A1 => B2) --> (B4 => A3) --> WARNING");
+    ("syz-12", "(B2 => A1) --> (A3 => T1) --> KASAN: use-after-free");
+    ("ext-irq", "(I1 => A2) --> (A3 => I2) --> KASAN: use-after-free");
+    ("ext-lock", "(B2 => A3) --> null-ptr-deref") ]
+
+let test_golden_chain (bug : Bugs.Bug.t) () =
+  let r = report_of bug in
+  match r.chain, List.assoc_opt bug.id golden_chains with
+  | Some chain, Some expected ->
+    Alcotest.(check string) "golden chain" expected
+      (Aitia.Chain.to_string chain)
+  | None, _ -> Alcotest.fail "no chain"
+  | _, None -> Alcotest.failf "no golden chain recorded for %s" bug.id
+
+(* Paper-vs-measured sanity for the corpus-wide conciseness claim
+   (§5.2): chains are a few races; detected races are many more. *)
+let test_conciseness_aggregate () =
+  let syz =
+    List.filter
+      (fun ((b : Bugs.Bug.t), _) ->
+        match b.source with Bugs.Bug.Syzkaller _ -> true | _ -> false)
+      (Lazy.force reports)
+  in
+  let metrics =
+    List.filter_map (fun (_, (r : Aitia.Diagnose.report)) -> r.metrics) syz
+  in
+  checki "all 12 measured" 12 (List.length metrics);
+  let avg f =
+    List.fold_left (fun acc m -> acc +. float_of_int (f m)) 0.0 metrics
+    /. float_of_int (List.length metrics)
+  in
+  let avg_chain = avg (fun (m : Aitia.Diagnose.metrics) -> m.races_in_chain) in
+  let avg_races = avg (fun (m : Aitia.Diagnose.metrics) -> m.races_detected) in
+  let avg_instrs =
+    avg (fun (m : Aitia.Diagnose.metrics) -> m.mem_accessing_instrs)
+  in
+  checkb "chains are small (paper: 3.0 avg)" true
+    (avg_chain >= 1.0 && avg_chain <= 5.0);
+  checkb "chains are much smaller than the race count" true
+    (avg_races > 2.0 *. avg_chain);
+  checkb "instructions dwarf the chain" true (avg_instrs > 10.0 *. avg_chain)
+
+let per_bug_cases =
+  List.concat_map
+    (fun ((bug : Bugs.Bug.t), _) ->
+      [ Alcotest.test_case (bug.id ^ " reproduces") `Quick
+          (test_reproduced bug);
+        Alcotest.test_case (bug.id ^ " interleavings") `Quick
+          (test_interleavings bug);
+        Alcotest.test_case (bug.id ^ " chain shape") `Quick
+          (test_chain_shape bug);
+        Alcotest.test_case (bug.id ^ " ambiguity") `Quick
+          (test_ambiguity bug);
+        Alcotest.test_case (bug.id ^ " kthread") `Quick
+          (test_kthread_involvement bug);
+        Alcotest.test_case (bug.id ^ " no noise in chain") `Quick
+          (test_chain_has_no_noise bug);
+        Alcotest.test_case (bug.id ^ " failure type") `Quick
+          (test_failure_type_matches bug);
+        Alcotest.test_case (bug.id ^ " golden chain") `Quick
+          (test_golden_chain bug) ])
+    (Lazy.force reports)
+
+let () =
+  Alcotest.run "bugs"
+    [ ("corpus", per_bug_cases);
+      ( "aggregate",
+        [ Alcotest.test_case "conciseness" `Quick test_conciseness_aggregate ]
+      ) ]

@@ -1,0 +1,413 @@
+(* Tests for LIFS, Causality Analysis, chain construction and the
+   diagnose pipeline, mostly exercised through the paper's own
+   examples. *)
+
+module Iid = Ksim.Access.Iid
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let chain_string (report : Aitia.Diagnose.report) =
+  match report.chain with
+  | Some c -> Aitia.Chain.to_string c
+  | None -> "-"
+
+let diagnose (bug : Bugs.Bug.t) =
+  Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+    (bug.case ())
+
+(* --- LIFS ---------------------------------------------------------------- *)
+
+let lifs_on (bug : Bugs.Bug.t) =
+  let case = bug.case () in
+  let crash = Trace.History.crash case.history in
+  let slice = List.hd (Trace.Slicer.slices case.history) in
+  let group, prologue =
+    match Aitia.Diagnose.realize case slice with
+    | Some x -> x
+    | None -> Alcotest.fail "slice not realizable"
+  in
+  let vm = Hypervisor.Vm.create group in
+  ( Aitia.Lifs.search ~prologue vm ~target:(Trace.Crash.matches crash) (),
+    vm )
+
+let test_lifs_reproduces_fig1 () =
+  let result, vm = lifs_on Bugs.Fig1_nullderef.bug in
+  (match result.found with
+  | None -> Alcotest.fail "fig1 not reproduced"
+  | Some s -> (
+    checki "two races" 2 (List.length s.races);
+    match s.failure with
+    | Ksim.Failure.Null_dereference _ -> ()
+    | f -> Alcotest.failf "unexpected failure %s" (Ksim.Failure.to_string f)));
+  checki "interleaving count 1" 1 result.stats.interleavings;
+  checki "vm accounted" result.stats.schedules (Hypervisor.Vm.runs vm)
+
+let test_lifs_serial_phase_first () =
+  (* fig7 manifests serially: LIFS must find it with 0 interleavings on
+     the very first schedule. *)
+  let result, _ = lifs_on Bugs.Fig7_nested.bug in
+  checki "interleavings" 0 result.stats.interleavings;
+  checki "one schedule" 1 result.stats.schedules
+
+let test_lifs_explores_deeper_only_when_needed () =
+  let result, _ = lifs_on Bugs.Cve_2017_15649.bug in
+  checki "needs two preemptions" 2 result.stats.interleavings;
+  checkb "prunes equivalents" true (result.stats.pruned > 0)
+
+let test_lifs_gives_up_within_bound () =
+  (* A race-free group can never reproduce the reported crash. *)
+  let open Ksim.Program.Build in
+  let t name =
+    { Ksim.Program.spec_name = name;
+      context = Ksim.Program.Syscall { call = name; sysno = 0 };
+      program = Ksim.Program.make ~name [ assign "a" "x" (cint 1) ];
+      resources = [] }
+  in
+  let group = Ksim.Program.group ~name:"quiet" [ t "A"; t "B" ] in
+  let vm = Hypervisor.Vm.create group in
+  let result =
+    Aitia.Lifs.search ~max_interleavings:2 vm ~target:(fun _ -> true) ()
+  in
+  checkb "not found" true (result.found = None);
+  checkb "ran something" true (result.stats.schedules > 0)
+
+let test_lifs_discovers_kthread_dynamically () =
+  (* fig5: thread K exists only on the race-steered path; LIFS must find
+     the failure involving it. *)
+  let result, _ = lifs_on Bugs.Fig5_search.bug in
+  match result.found with
+  | None -> Alcotest.fail "fig5 not reproduced"
+  | Some s ->
+    let tids =
+      List.sort_uniq compare
+        (List.map
+           (fun (e : Ksim.Machine.event) -> e.iid.Iid.tid)
+           s.outcome.trace)
+    in
+    checkb "three contexts in failing run" true (List.length tids >= 3)
+
+(* --- Causality Analysis --------------------------------------------------- *)
+
+let causality_of (bug : Bugs.Bug.t) =
+  let report = diagnose bug in
+  match report.causality with
+  | Some ca -> (report, ca)
+  | None -> Alcotest.failf "%s not diagnosed" bug.id
+
+let test_causality_fig1 () =
+  let _, ca = causality_of Bugs.Fig1_nullderef.bug in
+  checki "two root causes" 2 (List.length ca.root_causes);
+  checki "no benign" 0 (List.length ca.benign);
+  checki "one edge" 1 (List.length ca.edges)
+
+let test_causality_filters_benign () =
+  let _, ca = causality_of Bugs.Cve_2017_15649.bug in
+  checki "four roots" 4 (List.length ca.root_causes);
+  checkb "noise filtered" true (List.length ca.benign > 0);
+  (* No statistics-counter race survives into the root causes. *)
+  List.iter
+    (fun (r : Aitia.Race.t) ->
+      checkb "no noise in roots" false
+        (String.length r.first.iid.Iid.label > 4
+        && String.sub r.first.iid.Iid.label 0 4 = "A_n_"))
+    ca.root_causes
+
+let test_causality_ambiguity_fig7 () =
+  let _, ca = causality_of Bugs.Fig7_nested.bug in
+  checki "one ambiguous" 1 (List.length ca.ambiguous);
+  let amb = List.hd ca.ambiguous in
+  (* the surrounding race A1 => B2 *)
+  Alcotest.(check string) "surrounding race" "A1" amb.first.iid.Iid.label
+
+let test_causality_tests_backward () =
+  let _, ca = causality_of Bugs.Fig1_nullderef.bug in
+  match ca.tested with
+  | first :: _ ->
+    (* The race with the latest second access is tested first. *)
+    Alcotest.(check string) "last race first" "A2"
+      first.race.second.iid.Iid.label
+  | [] -> Alcotest.fail "nothing tested"
+
+let test_flip_plan_moves_block () =
+  (* Directly exercise flip-plan construction on a synthetic trace. *)
+  let open Ksim.Program.Build in
+  let t name instrs =
+    { Ksim.Program.spec_name = name;
+      context = Ksim.Program.Syscall { call = name; sysno = 0 };
+      program = Ksim.Program.make ~name instrs;
+      resources = [] }
+  in
+  let grp =
+    Ksim.Program.group ~name:"flip"
+      [ t "A" [ store "a1" (g "x") (cint 1); store "a2" (g "y") (cint 1) ];
+        t "B" [ load "b1" "v" (g "y"); load "b2" "w" (g "x") ] ]
+  in
+  let plan0 =
+    Hypervisor.Schedule.plan
+      [ Iid.make ~tid:0 ~label:"a1" ~occ:1;
+        Iid.make ~tid:0 ~label:"a2" ~occ:1;
+        Iid.make ~tid:1 ~label:"b1" ~occ:1;
+        Iid.make ~tid:1 ~label:"b2" ~occ:1 ]
+  in
+  let o =
+    Hypervisor.Controller.run (Ksim.Machine.create grp)
+      (Hypervisor.Schedule.plan_policy plan0)
+  in
+  let races = Aitia.Race.of_trace o.trace in
+  let r =
+    List.find
+      (fun (r : Aitia.Race.t) -> r.first.iid.Iid.label = "a1")
+      races
+  in
+  let flipped = Aitia.Causality.flip_plan o.trace r in
+  let o' =
+    Hypervisor.Controller.run (Ksim.Machine.create grp)
+      (Hypervisor.Schedule.plan_policy flipped)
+  in
+  (* In the flipped run b2 must precede a1. *)
+  let pos label =
+    let rec go i = function
+      | [] -> -1
+      | (e : Ksim.Machine.event) :: rest ->
+        if String.equal e.iid.Iid.label label then i else go (i + 1) rest
+    in
+    go 0 o'.trace
+  in
+  checkb "b2 before a1" true (pos "b2" < pos "a1");
+  checkb "b1 before b2 (program order kept)" true (pos "b1" < pos "b2")
+
+let test_flip_critical_section_as_unit () =
+  (* ext-lock: both endpoints are lock-protected; the flip must displace
+     the consumer's whole critical section, not deadlock inside it. *)
+  let report = diagnose Bugs.Ext_lock_order.bug in
+  match report.causality with
+  | None -> Alcotest.fail "not diagnosed"
+  | Some ca ->
+    checki "one root cause" 1 (List.length ca.root_causes);
+    let r = List.hd ca.root_causes in
+    Alcotest.(check string) "the CS-order race" "B2"
+      r.first.iid.Iid.label
+
+let test_irq_chain_crosses_boundary () =
+  let report = diagnose Bugs.Ext_irq_nic.bug in
+  match report.chain with
+  | None -> Alcotest.fail "not diagnosed"
+  | Some chain ->
+    let final =
+      match report.lifs.found with
+      | Some s -> s.outcome.final
+      | None -> Alcotest.fail "no failing run"
+    in
+    checkb "an endpoint runs in hardirq context" true
+      (List.exists
+         (fun (r : Aitia.Race.t) ->
+           Ksim.Machine.thread_context final r.second.iid.Iid.tid
+           = Ksim.Program.Hardirq
+           || Ksim.Machine.thread_context final r.first.iid.Iid.tid
+              = Ksim.Program.Hardirq)
+         (Aitia.Chain.races chain))
+
+(* --- chain ----------------------------------------------------------------- *)
+
+let test_chain_fig1 () =
+  let report = diagnose Bugs.Fig1_nullderef.bug in
+  Alcotest.(check string) "chain"
+    "(A1 => B1) --> (B2 => A2) --> null-ptr-deref" (chain_string report)
+
+let test_chain_conjunction_15649 () =
+  let report = diagnose Bugs.Cve_2017_15649.bug in
+  Alcotest.(check string) "chain"
+    "(B2 => A6) /\\ (A2 => B11) --> (A6 => B12) --> (B17 => A12) --> kernel \
+     BUG (BUG_ON)"
+    (chain_string report)
+
+let test_chain_excludes_ambiguous () =
+  let report = diagnose Bugs.Fig7_nested.bug in
+  (match report.chain with
+  | Some c ->
+    checki "chain keeps the certain race" 1 (Aitia.Chain.length c)
+  | None -> Alcotest.fail "no chain");
+  match report.causality with
+  | Some ca -> checki "ambiguity reported" 1 (List.length ca.ambiguous)
+  | None -> Alcotest.fail "no causality"
+
+let test_chain_crosses_thread_boundary () =
+  let report = diagnose Bugs.Fig9_irqfd.bug in
+  match report.chain with
+  | None -> Alcotest.fail "no chain"
+  | Some c ->
+    let tids =
+      List.concat_map
+        (fun (r : Aitia.Race.t) ->
+          [ r.first.iid.Iid.tid; r.second.iid.Iid.tid ])
+        (Aitia.Chain.races c)
+      |> List.sort_uniq compare
+    in
+    checkb "three contexts in chain" true (List.length tids >= 3)
+
+(* --- the Sec. 2.1 fix study --------------------------------------------------- *)
+
+let test_wrong_fix_still_fails () =
+  (* Enforcing only B17 => A12 (what a single-pattern tool suggests)
+     trades the BUG_ON for a double list_add corruption (Sec. 2.1). *)
+  let r =
+    Aitia.Diagnose.diagnose ~max_steps:20_000
+      (Bugs.Cve_2017_15649_fixes.wrong_fix_case ())
+  in
+  (match r.lifs.found with
+  | Some s -> (
+    match s.failure with
+    | Ksim.Failure.List_corruption _ -> ()
+    | f -> Alcotest.failf "unexpected failure %s" (Ksim.Failure.to_string f))
+  | None -> Alcotest.fail "wrong fix should still fail");
+  checkb "diagnosed" true (Aitia.Diagnose.reproduced r)
+
+let test_correct_fix_passes () =
+  (* The developers' fix cuts the chain's head conjunction: no schedule
+     reproduces any failure. *)
+  let r =
+    Aitia.Diagnose.diagnose ~max_steps:20_000
+      (Bugs.Cve_2017_15649_fixes.correct_fix_case ())
+  in
+  checkb "not reproduced" false (Aitia.Diagnose.reproduced r);
+  checkb "searched seriously" true (r.lifs.stats.schedules > 5)
+
+let test_unfixed_full_model_diagnoses () =
+  let r =
+    Aitia.Diagnose.diagnose ~max_steps:20_000
+      (Bugs.Cve_2017_15649_fixes.unfixed_case ())
+  in
+  checkb "reproduced" true (Aitia.Diagnose.reproduced r)
+
+(* --- diagnose pipeline ------------------------------------------------------ *)
+
+let test_diagnose_selects_right_slice () =
+  let report = diagnose Bugs.Fig1_nullderef.bug in
+  checkb "reproduced" true (Aitia.Diagnose.reproduced report);
+  Alcotest.(check (slist string compare)) "slice threads" [ "A"; "B" ]
+    report.slice_threads
+
+let test_diagnose_metrics () =
+  let report = diagnose Bugs.Cve_2017_15649.bug in
+  match report.metrics with
+  | None -> Alcotest.fail "no metrics"
+  | Some m ->
+    checkb "many accesses" true (m.mem_accessing_instrs > 20);
+    checkb "chain much smaller than race set" true
+      (m.races_in_chain < m.races_detected);
+    checki "chain races" 4 m.races_in_chain
+
+let test_diagnose_falls_through_slices () =
+  (* Sec. 4.2: "A slice may not contain the root cause.  If AITIA cannot
+     reproduce the failure, AITIA selects the next slice."  Build a
+     history whose failure-nearest concurrent window is a harmless decoy;
+     the racing pair sits in an earlier window. *)
+  let open Ksim.Program.Build in
+  let t name instrs =
+    { Ksim.Program.spec_name = name;
+      context = Ksim.Program.Syscall { call = name; sysno = 0 };
+      program = Ksim.Program.make ~name instrs;
+      resources = [] }
+  in
+  let racing_a = t "A" [ store "A1" (g "x") (cint 1) ] in
+  let racing_b =
+    t "B"
+      [ load "B1" "v" (g "x");
+        bug_on "B2" (Eq (reg "v", cint 1)) ]
+  in
+  let decoy_c = t "C" [ assign "C1" "r" (cint 0) ] in
+  let decoy_d = t "D" [ assign "D1" "r" (cint 0) ] in
+  let group =
+    Ksim.Program.group ~name:"fallthrough"
+      ~globals:[ ("x", Ksim.Value.Int 0) ]
+      [ racing_a; racing_b; decoy_c; decoy_d ]
+  in
+  let enter time call thread =
+    { Trace.Event.time;
+      kind = Trace.Event.Syscall_enter { call; thread; resources = [] } }
+  in
+  let exit_ time call thread =
+    { Trace.Event.time; kind = Trace.Event.Syscall_exit { call; thread } }
+  in
+  let history =
+    Trace.History.make
+      ~events:
+        [ (* the racing window, earlier *)
+          enter 1.0 "A" "A"; enter 1.01 "B" "B";
+          exit_ 1.5 "A" "A"; exit_ 1.5 "B" "B";
+          (* the decoy window, nearest to the crash *)
+          enter 2.0 "C" "C"; enter 2.01 "D" "D";
+          exit_ 2.5 "C" "C"; exit_ 2.5 "D" "D" ]
+      ~crash:
+        { Trace.Crash.symptom = "kernel BUG (BUG_ON)"; location = Some "B2";
+          subsystem = "test"; report_time = 2.6 }
+  in
+  let case : Aitia.Diagnose.case =
+    { case_name = "fallthrough"; subsystem = "test"; group; history }
+  in
+  let report = Aitia.Diagnose.diagnose case in
+  checkb "reproduced via the second slice" true
+    (Aitia.Diagnose.reproduced report);
+  checki "decoy slice tried first" 2 report.slices_tried;
+  Alcotest.(check (slist string compare)) "right slice" [ "A"; "B" ]
+    report.slice_threads
+
+let test_report_renders () =
+  let report = diagnose Bugs.Fig1_nullderef.bug in
+  let s = Aitia.Report.to_string report in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "mentions chain" true (contains "causality chain" s);
+  checkb "mentions root causes" true (contains "root-cause races" s);
+  checkb "non-empty" true (String.length s > 100)
+
+let () =
+  Alcotest.run "core"
+    [ ( "lifs",
+        [ Alcotest.test_case "reproduces fig1" `Quick
+            test_lifs_reproduces_fig1;
+          Alcotest.test_case "serial first" `Quick
+            test_lifs_serial_phase_first;
+          Alcotest.test_case "deeper when needed" `Quick
+            test_lifs_explores_deeper_only_when_needed;
+          Alcotest.test_case "bounded give-up" `Quick
+            test_lifs_gives_up_within_bound;
+          Alcotest.test_case "dynamic kthread" `Quick
+            test_lifs_discovers_kthread_dynamically ] );
+      ( "causality",
+        [ Alcotest.test_case "fig1 roots" `Quick test_causality_fig1;
+          Alcotest.test_case "benign filtered" `Quick
+            test_causality_filters_benign;
+          Alcotest.test_case "ambiguity" `Quick test_causality_ambiguity_fig7;
+          Alcotest.test_case "backward order" `Quick
+            test_causality_tests_backward;
+          Alcotest.test_case "flip plan" `Quick test_flip_plan_moves_block;
+          Alcotest.test_case "critical-section unit" `Quick
+            test_flip_critical_section_as_unit;
+          Alcotest.test_case "irq boundary" `Quick
+            test_irq_chain_crosses_boundary ] );
+      ( "chain",
+        [ Alcotest.test_case "fig1 chain" `Quick test_chain_fig1;
+          Alcotest.test_case "conjunction" `Quick
+            test_chain_conjunction_15649;
+          Alcotest.test_case "ambiguous excluded" `Quick
+            test_chain_excludes_ambiguous;
+          Alcotest.test_case "thread boundary" `Quick
+            test_chain_crosses_thread_boundary ] );
+      ( "diagnose",
+        [ Alcotest.test_case "slice selection" `Quick
+            test_diagnose_selects_right_slice;
+          Alcotest.test_case "metrics" `Quick test_diagnose_metrics;
+          Alcotest.test_case "slice fall-through" `Quick
+            test_diagnose_falls_through_slices;
+          Alcotest.test_case "wrong fix still fails" `Quick
+            test_wrong_fix_still_fails;
+          Alcotest.test_case "correct fix passes" `Quick
+            test_correct_fix_passes;
+          Alcotest.test_case "unfixed full model" `Quick
+            test_unfixed_full_model_diagnoses;
+          Alcotest.test_case "report" `Quick test_report_renders ] ) ]

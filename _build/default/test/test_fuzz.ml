@@ -1,0 +1,123 @@
+(* Tests for the Syzkaller-analogue fuzzer and its PRNG. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- rng ----------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Fuzz.Rng.create 7 and b = Fuzz.Rng.create 7 in
+  let xs = List.init 20 (fun _ -> Fuzz.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Fuzz.Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let test_rng_bounds () =
+  let r = Fuzz.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Fuzz.Rng.int r 7 in
+    checkb "in range" true (x >= 0 && x < 7)
+  done
+
+let test_rng_split_diverges () =
+  let r = Fuzz.Rng.create 11 in
+  let s = Fuzz.Rng.split r in
+  let xs = List.init 10 (fun _ -> Fuzz.Rng.int r 1_000_000) in
+  let ys = List.init 10 (fun _ -> Fuzz.Rng.int s 1_000_000) in
+  checkb "different streams" false (xs = ys)
+
+let test_rng_shuffle_is_permutation () =
+  let r = Fuzz.Rng.create 5 in
+  let xs = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let ys = Fuzz.Rng.shuffle r xs in
+  Alcotest.(check (slist int compare)) "permutation" xs ys
+
+let test_rng_pick_member () =
+  let r = Fuzz.Rng.create 9 in
+  for _ = 1 to 50 do
+    checkb "member" true (List.mem (Fuzz.Rng.pick r [ 1; 2; 3 ]) [ 1; 2; 3 ])
+  done
+
+(* --- fuzzer ---------------------------------------------------------------- *)
+
+(* Find a seed that crashes a given bug group quickly. *)
+let find_crash (bug : Bugs.Bug.t) =
+  let case = bug.case () in
+  let prologue =
+    List.mapi (fun i (s : Ksim.Program.thread_spec) -> (i, s.spec_name))
+      case.group.Ksim.Program.threads
+    |> List.filter_map (fun (i, n) -> if n = "init" then Some i else None)
+  in
+  let rec try_seed seed =
+    if seed > 20 then Alcotest.failf "%s: no crashing seed found" bug.id
+    else
+      match
+        Fuzz.Fuzzer.run ~max_runs:500 ~seed ~prologue
+          ~subsystem:bug.subsystem case.group
+      with
+      | Ok finding -> (seed, case, finding)
+      | Error _ -> try_seed (seed + 1)
+  in
+  try_seed 1
+
+let test_fuzzer_finds_crash () =
+  let _, _, finding = find_crash Bugs.Fig1_nullderef.bug in
+  checkb "found in bounded runs" true (finding.runs_until_crash <= 500);
+  match finding.failure with
+  | Ksim.Failure.Null_dereference _ -> ()
+  | f -> Alcotest.failf "unexpected failure %s" (Ksim.Failure.to_string f)
+
+let test_fuzzer_deterministic () =
+  let seed, case, f1 = find_crash Bugs.Fig1_nullderef.bug in
+  let prologue = [ 0 ] in
+  match
+    Fuzz.Fuzzer.run ~max_runs:500 ~seed ~prologue
+      ~subsystem:case.subsystem case.group
+  with
+  | Ok f2 -> checki "same run index" f1.runs_until_crash f2.runs_until_crash
+  | Error _ -> Alcotest.fail "crash not reproduced with same seed"
+
+let test_fuzzer_history_well_formed () =
+  let _, _, finding = find_crash Bugs.Fig1_nullderef.bug in
+  let eps = Trace.History.episodes finding.history in
+  checkb "episodes for racing threads" true (List.length eps >= 2);
+  let crash = Trace.History.crash finding.history in
+  checkb "crash recorded" true (crash.symptom <> "none")
+
+let test_fuzz_then_diagnose_end_to_end () =
+  (* The §5.2 workflow: the bug finder produces the inputs, AITIA
+     diagnoses.  The chain must match the directly-diagnosed one. *)
+  let _, case, finding = find_crash Bugs.Fig1_nullderef.bug in
+  let fuzzed_case = { case with Aitia.Diagnose.history = finding.history } in
+  let fuzzed = Aitia.Diagnose.diagnose fuzzed_case in
+  let direct = Aitia.Diagnose.diagnose (Bugs.Fig1_nullderef.bug.case ()) in
+  match fuzzed.chain, direct.chain with
+  | Some c1, Some c2 ->
+    Alcotest.(check string) "same chain" (Aitia.Chain.to_string c2)
+      (Aitia.Chain.to_string c1)
+  | _ -> Alcotest.fail "both paths must diagnose"
+
+let test_fuzzer_on_kthread_bug () =
+  let _, case, finding = find_crash Bugs.Fig9_irqfd.bug in
+  let fuzzed_case = { case with Aitia.Diagnose.history = finding.history } in
+  let report = Aitia.Diagnose.diagnose fuzzed_case in
+  checkb "kworkerd bug diagnosed from fuzzer input" true
+    (Aitia.Diagnose.reproduced report)
+
+let () =
+  Alcotest.run "fuzz"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_diverges;
+          Alcotest.test_case "shuffle" `Quick
+            test_rng_shuffle_is_permutation;
+          Alcotest.test_case "pick" `Quick test_rng_pick_member ] );
+      ( "fuzzer",
+        [ Alcotest.test_case "finds crash" `Quick test_fuzzer_finds_crash;
+          Alcotest.test_case "deterministic" `Quick test_fuzzer_deterministic;
+          Alcotest.test_case "history" `Quick
+            test_fuzzer_history_well_formed;
+          Alcotest.test_case "fuzz+diagnose" `Quick
+            test_fuzz_then_diagnose_end_to_end;
+          Alcotest.test_case "kthread bug" `Quick test_fuzzer_on_kthread_bug
+        ] ) ]

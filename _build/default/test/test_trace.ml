@@ -1,0 +1,175 @@
+(* Unit tests for the execution-history modeling layer: events,
+   histories, crash reports and the slicer. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let enter t call thread resources =
+  { Trace.Event.time = t;
+    kind = Trace.Event.Syscall_enter { call; thread; resources } }
+
+let exit_ t call thread =
+  { Trace.Event.time = t; kind = Trace.Event.Syscall_exit { call; thread } }
+
+let invoke t entry source =
+  { Trace.Event.time = t;
+    kind =
+      Trace.Event.Kthread_invoked
+        { entry; source; context = Ksim.Program.Kworker } }
+
+let crash ?location ~at symptom =
+  { Trace.Crash.symptom; location; subsystem = "test"; report_time = at }
+
+(* --- history -------------------------------------------------------------- *)
+
+let test_events_sorted () =
+  let h =
+    Trace.History.make
+      ~events:[ enter 2.0 "b" "B" []; enter 1.0 "a" "A" [] ]
+      ~crash:(crash ~at:3.0 "boom")
+  in
+  match Trace.History.events h with
+  | [ e1; e2 ] -> checkb "ascending" true (e1.time < e2.time)
+  | _ -> Alcotest.fail "two events"
+
+let test_episode_pairing () =
+  let h =
+    Trace.History.make
+      ~events:
+        [ enter 1.0 "read" "A" [ "fd1" ];
+          exit_ 2.0 "read" "A";
+          invoke 1.5 "kw" "A";
+          { Trace.Event.time = 1.8; kind = Trace.Event.Kthread_done { entry = "kw" } } ]
+      ~crash:(crash ~at:3.0 "boom")
+  in
+  let eps = Trace.History.episodes h in
+  checki "two episodes" 2 (List.length eps);
+  let a = List.find (fun (e : Trace.History.episode) -> e.thread = "A") eps in
+  checkb "bounds" true (a.start = 1.0 && a.stop = 2.0);
+  let k = List.find (fun (e : Trace.History.episode) -> e.thread = "kw") eps in
+  checkb "kthread source" true (k.source = Some "A")
+
+let test_unclosed_episode_is_live () =
+  let h =
+    Trace.History.make
+      ~events:[ enter 1.0 "write" "A" [] ]
+      ~crash:(crash ~at:2.0 "boom")
+  in
+  match Trace.History.episodes h with
+  | [ e ] -> checkb "open interval" true (e.stop = infinity)
+  | _ -> Alcotest.fail "one episode"
+
+let test_overlap () =
+  let ep t0 t1 =
+    { Trace.History.thread = "t"; call = "c"; start = t0; stop = t1;
+      resources = []; context = Ksim.Program.Kworker; source = None }
+  in
+  checkb "overlapping" true (Trace.History.overlap (ep 0. 2.) (ep 1. 3.));
+  checkb "disjoint" false (Trace.History.overlap (ep 0. 1.) (ep 2. 3.));
+  checkb "touching" false (Trace.History.overlap (ep 0. 1.) (ep 1. 2.))
+
+(* --- crash matching -------------------------------------------------------- *)
+
+let test_crash_matching () =
+  let iid = Ksim.Access.Iid.make ~tid:0 ~label:"A2" ~occ:1 in
+  let f = Ksim.Failure.Null_dereference { at = iid } in
+  let c = crash ~at:1.0 ~location:"A2" "null-ptr-deref" in
+  checkb "matches" true (Trace.Crash.matches c f);
+  let c2 = crash ~at:1.0 ~location:"B9" "null-ptr-deref" in
+  checkb "wrong location" false (Trace.Crash.matches c2 f);
+  let c3 = crash ~at:1.0 ~location:"A2" "KASAN: use-after-free" in
+  checkb "wrong symptom" false (Trace.Crash.matches c3 f);
+  let leak = Ksim.Failure.Memory_leak { objs = [ (0, "x") ] } in
+  let c4 = crash ~at:1.0 "memory leak" in
+  checkb "location-free" true (Trace.Crash.matches c4 leak)
+
+let test_crash_of_failure () =
+  let iid = Ksim.Access.Iid.make ~tid:1 ~label:"B7" ~occ:2 in
+  let f =
+    Ksim.Failure.Use_after_free
+      { at = iid; obj = 3; tag = "sock"; kind = Ksim.Instr.Read;
+        freed_at = None }
+  in
+  let c = Trace.Crash.of_failure ~subsystem:"net" ~report_time:9.0 f in
+  checkb "symptom" true (String.equal c.symptom "KASAN: use-after-free");
+  checkb "location" true (c.location = Some "B7");
+  checkb "self match" true (Trace.Crash.matches c f)
+
+(* --- slicer ----------------------------------------------------------------- *)
+
+let concurrent_pair_history () =
+  Trace.History.make
+    ~events:
+      [ (* earlier unrelated sequential call *)
+        enter 0.1 "getpid" "X" [];
+        exit_ 0.2 "getpid" "X";
+        (* resource setup *)
+        enter 0.3 "open" "init" [ "fd1" ];
+        exit_ 0.4 "open" "init";
+        (* the racing pair *)
+        enter 1.0 "read" "A" [ "fd1" ];
+        enter 1.01 "close" "B" [ "fd1" ];
+        exit_ 1.5 "read" "A";
+        exit_ 1.5 "close" "B" ]
+    ~crash:(crash ~at:1.6 "boom")
+
+let test_slicer_groups_concurrent () =
+  let slices = Trace.Slicer.slices (concurrent_pair_history ()) in
+  checkb "at least one slice" true (slices <> []);
+  let first = List.hd slices in
+  (* nearest to the failure: the A/B racing window *)
+  Alcotest.(check (slist string compare)) "threads" [ "A"; "B" ]
+    (Trace.Slicer.threads first)
+
+let test_slicer_resource_closure () =
+  let slices = Trace.Slicer.slices (concurrent_pair_history ()) in
+  let first = List.hd slices in
+  let setup =
+    List.map (fun (e : Trace.History.episode) -> e.thread) first.setup
+  in
+  Alcotest.(check (list string)) "open pulled in" [ "init" ] setup
+
+let test_slicer_backward_order () =
+  let slices = Trace.Slicer.slices (concurrent_pair_history ()) in
+  (* the sequential episodes form their own, later-ranked slices *)
+  checkb "more than one slice" true (List.length slices > 1);
+  let first = List.hd slices in
+  checki "failure-adjacent first" 0 first.distance_from_failure
+
+let test_slicer_splits_wide_groups () =
+  let events =
+    List.concat_map
+      (fun i ->
+        let name = Fmt.str "T%d" i in
+        [ enter 1.0 "call" name []; exit_ 2.0 "call" name ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let h = Trace.History.make ~events ~crash:(crash ~at:2.5 "boom") in
+  let slices = Trace.Slicer.slices h in
+  checkb "split happened" true (List.length slices > 1);
+  List.iter
+    (fun (s : Trace.Slicer.t) ->
+      checkb "bounded width" true
+        (List.length s.episodes <= Trace.Slicer.max_threads_per_slice))
+    slices
+
+let () =
+  Alcotest.run "trace"
+    [ ( "history",
+        [ Alcotest.test_case "events sorted" `Quick test_events_sorted;
+          Alcotest.test_case "episode pairing" `Quick test_episode_pairing;
+          Alcotest.test_case "unclosed episode" `Quick
+            test_unclosed_episode_is_live;
+          Alcotest.test_case "overlap" `Quick test_overlap ] );
+      ( "crash",
+        [ Alcotest.test_case "matching" `Quick test_crash_matching;
+          Alcotest.test_case "of_failure" `Quick test_crash_of_failure ] );
+      ( "slicer",
+        [ Alcotest.test_case "concurrent grouping" `Quick
+            test_slicer_groups_concurrent;
+          Alcotest.test_case "resource closure" `Quick
+            test_slicer_resource_closure;
+          Alcotest.test_case "backward order" `Quick
+            test_slicer_backward_order;
+          Alcotest.test_case "width bound" `Quick
+            test_slicer_splits_wide_groups ] ) ]
