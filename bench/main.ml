@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- LIST    — only the named targets
 
    Targets: table1 table2 table3 table_5_3 fig1 fig3 fig5 fig6 fig7 fig9
-            conciseness ablations micro
+            conciseness detector study wrongfix ablations analysis micro
 
    Absolute times are simulated under the VM cost model (the substrate
    is a simulator, not the paper's 32-VM Xeon testbed); the comparisons
@@ -541,6 +541,53 @@ let wrongfix () =
   pr
     "(paper: 'enforcing the order B17 => A12 is not a correct fix... both      threads still can execute fanout_link() concurrently')@."
 
+(* --- static analysis scenario ------------------------------------------------ *)
+
+(* Static lockset/MHP hints: per bug, the static conflict-space stats
+   and how seeding LIFS with them changes the search (schedules explored
+   with and without hints, both of which must reproduce).  The JSON
+   trailer makes the numbers machine-trackable across revisions. *)
+let analysis () =
+  section "Static analysis: lockset/MHP hints feeding LIFS";
+  pr "%-18s %6s %8s %7s | %9s %9s %7s %7s@." "bug" "pairs" "guarded"
+    "ratio" "plain#s" "hinted#s" "static" "speedup";
+  let rows = ref [] in
+  List.iter
+    (fun (bug : Bugs.Bug.t) ->
+      let case = bug.case () in
+      let stats =
+        Analysis.Summary.stats (Analysis.Candidates.analyze case.group)
+      in
+      let plain =
+        Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings case
+      in
+      let hinted =
+        Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+          ~static_hints:true case
+      in
+      let ps = plain.lifs.stats.schedules
+      and hs = hinted.lifs.stats.schedules in
+      let speedup =
+        if hs = 0 then 1.0 else float_of_int ps /. float_of_int hs
+      in
+      pr "%-18s %6d %8d %7.2f | %9d %9d %7d %6.2fx@." bug.id stats.n_pairs
+        stats.n_guarded stats.pruning_ratio ps hs
+        hinted.lifs.stats.static_pruned speedup;
+      rows :=
+        Printf.sprintf
+          "{\"bug\":\"%s\",\"pairs\":%d,\"guarded\":%d,\"unguarded\":%d,\
+           \"ambiguous\":%d,\"pruning_ratio\":%.4f,\"plain_schedules\":%d,\
+           \"hinted_schedules\":%d,\"static_pruned\":%d,\"speedup\":%.4f,\
+           \"plain_reproduced\":%b,\"hinted_reproduced\":%b}"
+          (Analysis.Report_json.escape bug.id)
+          stats.n_pairs stats.n_guarded stats.n_unguarded stats.n_ambiguous
+          stats.pruning_ratio ps hs hinted.lifs.stats.static_pruned speedup
+          (Aitia.Diagnose.reproduced plain)
+          (Aitia.Diagnose.reproduced hinted)
+        :: !rows)
+    (Bugs.Registry.cves @ Bugs.Registry.syzkaller);
+  pr "json: [%s]@." (String.concat "," (List.rev !rows))
+
 (* --- micro-benchmarks (bechamel) ------------------------------------------------- *)
 
 let micro () =
@@ -623,7 +670,8 @@ let all_targets =
     ("table_5_3", table_5_3); ("fig1", fig1); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5);
     ("fig6", fig6); ("fig7", fig7); ("fig9", fig9);
     ("conciseness", conciseness); ("detector", detector); ("study", study);
-    ("wrongfix", wrongfix); ("ablations", ablations); ("micro", micro) ]
+    ("wrongfix", wrongfix); ("ablations", ablations);
+    ("analysis", analysis); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -2,6 +2,7 @@
 
    aitia list                 — the modeled bug corpus
    aitia diagnose <id> …      — run the full pipeline, print the report
+   aitia analyze <id> …       — static lockset/MHP analysis, JSON report
    aitia chain <id> …         — print only the causality chain
    aitia fuzz <id> [--seed n] — fuzz the workload, then diagnose the crash
    aitia compare <id> …       — run the prior-work baselines on a bug
@@ -11,14 +12,33 @@ open Cmdliner
 
 let setup_logs =
   let debug =
-    Arg.(value & flag & info [ "debug" ] ~doc:"Enable debug logging")
+    Arg.(value & flag & info [ "debug" ] ~doc:"Enable debug logging \
+                                              (same as --log-level=debug)")
   in
-  let init debug =
+  let level =
+    let doc =
+      "Log verbosity: $(b,quiet), $(b,error), $(b,warning), $(b,info) or \
+       $(b,debug)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let init debug level =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
-    Logs.set_level (Some (if debug then Logs.Debug else Logs.Warning))
+    let lvl =
+      match level with
+      | None -> Some (if debug then Logs.Debug else Logs.Warning)
+      | Some s -> (
+        match Logs.level_of_string s with
+        | Ok l -> l
+        | Error (`Msg m) ->
+          Fmt.epr "aitia: %s@." m;
+          exit 1)
+    in
+    Logs.set_level lvl
   in
-  Term.(const init $ debug)
+  Term.(const init $ debug $ level)
 
 let bug_arg =
   let doc = "Bug id(s) from the corpus (see `aitia list'); 'all' selects \
@@ -38,9 +58,9 @@ let resolve ids =
           exit 1)
       ids
 
-let diagnose_bug (bug : Bugs.Bug.t) =
+let diagnose_bug ?static_hints (bug : Bugs.Bug.t) =
   Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
-    (bug.case ())
+    ?static_hints (bug.case ())
 
 (* --- list ------------------------------------------------------------- *)
 
@@ -58,7 +78,7 @@ let list_cmd =
     0
   in
   Cmd.v (Cmd.info "list" ~doc:"List the modeled bug corpus")
-    Term.(const run $ const ())
+    Term.(const run $ setup_logs)
 
 (* --- diagnose --------------------------------------------------------- *)
 
@@ -67,10 +87,17 @@ let diagnose_cmd =
     Arg.(value & flag
          & info [ "flips" ] ~doc:"Print the Causality Analysis flip log")
   in
-  let run () ids show_flips =
+  let hints =
+    Arg.(value & flag
+         & info [ "static-hints" ]
+             ~doc:"Seed LIFS with the static lockset/MHP analysis: the \
+                   frontier is visited Unguarded-first and statically \
+                   Guarded candidate preemptions are skipped")
+  in
+  let run () ids show_flips static_hints =
     List.iter
       (fun bug ->
-        let report = diagnose_bug bug in
+        let report = diagnose_bug ~static_hints bug in
         Fmt.pr "%a@." Aitia.Report.pp report;
         if show_flips then
           match report.causality with
@@ -91,12 +118,46 @@ let diagnose_cmd =
   Cmd.v
     (Cmd.info "diagnose"
        ~doc:"Reproduce a failure and build its causality chain")
-    Term.(const run $ setup_logs $ bug_arg $ flips)
+    Term.(const run $ setup_logs $ bug_arg $ flips $ hints)
+
+(* --- analyze ---------------------------------------------------------- *)
+
+(* The serial prologue of a case, as thread names: every thread some
+   slice realizes as setup (resource closure) rather than as a racing
+   episode.  This mirrors what Diagnose.realize forces serial. *)
+let serial_names (case : Aitia.Diagnose.case) =
+  List.concat_map
+    (fun (s : Trace.Slicer.t) ->
+      List.map (fun (e : Trace.History.episode) -> e.thread) s.setup)
+    (Trace.Slicer.slices case.history)
+  |> List.sort_uniq String.compare
+
+let analyze_cmd =
+  let run () ids =
+    let reports =
+      List.map
+        (fun (bug : Bugs.Bug.t) ->
+          let case = bug.case () in
+          let serial = serial_names case in
+          Analysis.Report_json.to_string
+            (Analysis.Candidates.analyze ~serial case.group))
+        (resolve ids)
+    in
+    Fmt.pr "[%s]@." (String.concat "," reports);
+    0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static lockset / may-happen-in-parallel analysis of a \
+             case's kernel programs, as JSON: every memory-accessing \
+             site with its must/may locksets and every conflicting pair \
+             classified Guarded, Unguarded or Ambiguous")
+    Term.(const run $ setup_logs $ bug_arg)
 
 (* --- chain ------------------------------------------------------------ *)
 
 let chain_cmd =
-  let run ids =
+  let run () ids =
     List.iter
       (fun (bug : Bugs.Bug.t) ->
         let report = diagnose_bug bug in
@@ -107,7 +168,7 @@ let chain_cmd =
     0
   in
   Cmd.v (Cmd.info "chain" ~doc:"Print only the causality chain")
-    Term.(const run $ bug_arg)
+    Term.(const run $ setup_logs $ bug_arg)
 
 (* --- fuzz ------------------------------------------------------------- *)
 
@@ -129,7 +190,7 @@ let fuzz_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed")
   in
-  let run ids seed =
+  let run () ids seed =
     List.iter
       (fun (bug : Bugs.Bug.t) ->
         let case = bug.case () in
@@ -154,12 +215,12 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Fuzz a workload Syzkaller-style, then diagnose the crash")
-    Term.(const run $ bug_arg $ seed)
+    Term.(const run $ setup_logs $ bug_arg $ seed)
 
 (* --- compare ---------------------------------------------------------- *)
 
 let compare_cmd =
-  let run ids =
+  let run () ids =
     Fmt.pr "%-18s %-6s %-7s %-5s %-5s@." "ID" "AITIA" "KAIRUX" "CBL" "MUVI";
     List.iter
       (fun (bug : Bugs.Bug.t) ->
@@ -178,13 +239,14 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare AITIA against Kairux / CBL / MUVI on a bug (Sec 5.3)")
-    Term.(const run $ bug_arg)
+    Term.(const run $ setup_logs $ bug_arg)
 
 let main =
   let info =
     Cmd.info "aitia" ~version:"1.0.0"
       ~doc:"Root-cause diagnosis of kernel concurrency failures (EuroSys'23)"
   in
-  Cmd.group info [ list_cmd; diagnose_cmd; chain_cmd; fuzz_cmd; compare_cmd ]
+  Cmd.group info
+    [ list_cmd; diagnose_cmd; analyze_cmd; chain_cmd; fuzz_cmd; compare_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,78 @@
+(* Static abstraction of memory locations.
+
+   Heap objects are dynamic; statically an access through [e->f] can
+   reach field [f] of any object, so the abstraction keeps only the
+   field name.  This is the coarsest abstraction that still separates
+   the corpus's racing variables (globals and named fields), and it is
+   sound by construction: Addr.overlaps implies may_alias of the
+   abstractions (equal globals stay equal globals; Field (o, f) maps to
+   Field f; Index to Slot; Whole o overlaps only locations of o, all of
+   which abstract to Field/Slot/Whole). *)
+
+type t =
+  | Global of string
+  | Field of string
+  | Slot
+  | Whole
+
+let of_addr_expr : Ksim.Instr.addr_expr -> t = function
+  | Ksim.Instr.Global g -> Global g
+  | Ksim.Instr.Deref (_, f) -> Field f
+  | Ksim.Instr.At (_, _) -> Slot
+
+(* Which location an instruction touches.  Mirrors the machine's access
+   instrumentation, including the [Free] special case: access_kind says
+   None for Free, but the machine emits a Write access to [Whole obj]
+   (and kfree conflicts with every access to the object's fields). *)
+let of_instr (i : Ksim.Instr.t) : (t * Ksim.Instr.access_kind) option =
+  match i with
+  | Ksim.Instr.Free _ -> Some (Whole, Ksim.Instr.Write)
+  | _ -> (
+    match Ksim.Instr.access_kind i with
+    | None -> None
+    | Some kind ->
+      let addr =
+        match i with
+        | Ksim.Instr.Load { src; _ } -> src
+        | Ksim.Instr.Store { dst; _ } -> dst
+        | Ksim.Instr.Rmw { loc; _ }
+        | Ksim.Instr.Ref_get { loc }
+        | Ksim.Instr.Ref_put { loc; _ } ->
+          loc
+        | Ksim.Instr.List_add { list; _ }
+        | Ksim.Instr.List_del { list; _ }
+        | Ksim.Instr.List_contains { list; _ }
+        | Ksim.Instr.List_empty { list; _ }
+        | Ksim.Instr.List_first { list; _ } ->
+          list
+        | _ -> assert false (* access_kind returned Some for these only *)
+      in
+      Some (of_addr_expr addr, kind))
+
+let may_alias a b =
+  match a, b with
+  | Global x, Global y -> String.equal x y
+  | Field x, Field y -> String.equal x y
+  | Slot, Slot -> true
+  | Whole, (Field _ | Slot | Whole) | (Field _ | Slot), Whole -> true
+  | Global _, _ | _, Global _ -> false
+  | Field _, Slot | Slot, Field _ -> false
+
+let conflicting_kinds a b =
+  not (a = Ksim.Instr.Read && b = Ksim.Instr.Read)
+
+let equal a b =
+  match a, b with
+  | Global x, Global y | Field x, Field y -> String.equal x y
+  | Slot, Slot | Whole, Whole -> true
+  | _ -> false
+
+let compare = Stdlib.compare
+
+let pp ppf = function
+  | Global g -> Fmt.pf ppf "&%s" g
+  | Field f -> Fmt.pf ppf "*->%s" f
+  | Slot -> Fmt.string ppf "*[_]"
+  | Whole -> Fmt.string ppf "obj"
+
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,34 @@
+(** Static abstraction of the memory locations a program can touch.
+
+    The dynamic address space ({!Ksim.Addr.t}) names concrete heap
+    objects, which do not exist statically; the abstraction collapses
+    every object into its field (or slot) name.  The result
+    over-approximates the dynamic overlap relation: whenever two dynamic
+    accesses conflict, their static abstractions {!may_alias}. *)
+
+type t =
+  | Global of string  (** a named global *)
+  | Field of string   (** some object's field of this name *)
+  | Slot              (** some object's indexed slot *)
+  | Whole             (** a whole object (the kfree target) *)
+
+val of_addr_expr : Ksim.Instr.addr_expr -> t
+
+val of_instr : Ksim.Instr.t -> (t * Ksim.Instr.access_kind) option
+(** The shared-memory access an instruction performs, if any.  Unlike
+    {!Ksim.Instr.access_kind} this includes [Free], which the machine
+    records as a [Write] to the whole object. *)
+
+val may_alias : t -> t -> bool
+(** Sound over-approximation of {!Ksim.Addr.overlaps}: equal globals,
+    same-named fields, any two slots, and [Whole] against any heap
+    location. *)
+
+val conflicting_kinds :
+  Ksim.Instr.access_kind -> Ksim.Instr.access_kind -> bool
+(** At least one side writes. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val to_string : t -> string

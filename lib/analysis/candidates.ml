@@ -1,0 +1,150 @@
+(* Candidate-pair enumeration and lockset classification.
+
+   The enumeration is the static mirror of the dynamic conflict
+   predicate: different threads (MHP), overlapping locations
+   (may_alias), at least one write.  Classification intersects
+   locksets: must ∩ must ≠ ∅ proves mutual exclusion; may ∩ may ≠ ∅
+   leaves the pair ambiguous; otherwise no lock can ever cover both. *)
+
+type cls = Guarded | Unguarded | Ambiguous
+
+let cls_name = function
+  | Guarded -> "guarded"
+  | Unguarded -> "unguarded"
+  | Ambiguous -> "ambiguous"
+
+type site = {
+  thread : string;
+  label : string;
+  addr : Absaddr.t;
+  kind : Ksim.Instr.access_kind;
+  point : Lockset.point;
+  src : Ksim.Program.loc;
+}
+
+type pair = {
+  site_a : site;
+  site_b : site;
+  cls : cls;
+  witness : string list;
+}
+
+type result = {
+  group_name : string;
+  thread_names : string list;
+  serial : string list;
+  sites : site list;
+  pairs : pair list;
+}
+
+let sites_of_thread (th : Mhp.thread) : site list =
+  let locks = Lockset.of_program th.Mhp.program in
+  let n = Ksim.Program.length th.Mhp.program in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let { Ksim.Program.label; instr; src } =
+        Ksim.Program.get th.Mhp.program i
+      in
+      let acc =
+        match Absaddr.of_instr instr with
+        | None -> acc
+        | Some (addr, kind) ->
+          let point =
+            match Lockset.find locks label with
+            | Some p -> p
+            | None -> { Lockset.must = Lockset.Names.empty;
+                        may = Lockset.universe locks }
+          in
+          { thread = th.Mhp.thread_name; label; addr; kind; point; src }
+          :: acc
+      in
+      go (i + 1) acc
+  in
+  go 0 []
+
+let classify_points (a : Lockset.point) (b : Lockset.point) :
+    cls * string list =
+  let common_must = Lockset.Names.inter a.Lockset.must b.Lockset.must in
+  if not (Lockset.Names.is_empty common_must) then
+    (Guarded, Lockset.Names.elements common_must)
+  else
+    let common_may = Lockset.Names.inter a.Lockset.may b.Lockset.may in
+    if Lockset.Names.is_empty common_may then (Unguarded, [])
+    else (Ambiguous, Lockset.Names.elements common_may)
+
+let pair_of a b =
+  let cls, witness = classify_points a.point b.point in
+  { site_a = a; site_b = b; cls; witness }
+
+let analyze ?(serial = []) (g : Ksim.Program.group) : result =
+  let mhp = Mhp.of_group ~serial g in
+  let threads = Mhp.threads mhp in
+  let by_thread = List.map (fun th -> (th, sites_of_thread th)) threads in
+  let sites = List.concat_map snd by_thread in
+  let conflicting a b =
+    Absaddr.may_alias a.addr b.addr
+    && Absaddr.conflicting_kinds a.kind b.kind
+  in
+  (* Unordered thread pairs, including an entry with itself (two dynamic
+     instances of the same entry program can race). *)
+  let rec thread_pairs = function
+    | [] -> []
+    | (th, ss) :: rest ->
+      let self =
+        if Mhp.may_happen_in_parallel mhp th.Mhp.thread_name
+             th.Mhp.thread_name
+        then [ ((th, ss), (th, ss)) ]
+        else []
+      in
+      self
+      @ List.filter_map
+          (fun (th', ss') ->
+            if
+              Mhp.may_happen_in_parallel mhp th.Mhp.thread_name
+                th'.Mhp.thread_name
+            then Some ((th, ss), (th', ss'))
+            else None)
+          rest
+      @ thread_pairs rest
+  in
+  let pairs =
+    List.concat_map
+      (fun ((th, ss), (th', ss')) ->
+        if th == th' then
+          (* Self-pairing: sites at index i <= j, once each. *)
+          let arr = Array.of_list ss in
+          let out = ref [] in
+          Array.iteri
+            (fun i a ->
+              Array.iteri
+                (fun j b ->
+                  if j >= i && conflicting a b then out := pair_of a b :: !out)
+                arr)
+            arr;
+          List.rev !out
+        else
+          List.concat_map
+            (fun a ->
+              List.filter_map
+                (fun b ->
+                  if conflicting a b then Some (pair_of a b) else None)
+                ss')
+            ss)
+      (thread_pairs by_thread)
+  in
+  { group_name = g.Ksim.Program.group_name;
+    thread_names = List.map (fun th -> th.Mhp.thread_name) threads;
+    serial;
+    sites;
+    pairs }
+
+let pp_pair ppf p =
+  Fmt.pf ppf "%s:%s %a ~ %s:%s %a @@ %a/%a [%s%a]" p.site_a.thread
+    p.site_a.label Ksim.Instr.pp_access_kind p.site_a.kind p.site_b.thread
+    p.site_b.label Ksim.Instr.pp_access_kind p.site_b.kind Absaddr.pp
+    p.site_a.addr Absaddr.pp p.site_b.addr (cls_name p.cls)
+    (fun ppf -> function
+      | [] -> ()
+      | ws -> Fmt.pf ppf ": %a" (Fmt.list ~sep:Fmt.comma Fmt.string) ws)
+    p.witness

@@ -1,0 +1,61 @@
+(** Classified cross-thread candidate pairs: the static race analysis
+    LIFS consumes.
+
+    A {e site} is a memory-accessing instruction of one thread, with its
+    abstract location and the locksets holding when it executes.  A
+    {e pair} is two sites of may-happen-in-parallel threads whose
+    locations may alias and whose kinds conflict — a statically possible
+    race, classified by lockset intersection:
+
+    - [Guarded]: the must-locksets share a lock.  Every execution of
+      both sites holds it, so the accesses are serialized: the pair
+      cannot data-race (it can still exhibit a critical-section-order
+      bug, which lockset reasoning deliberately leaves to the full
+      dynamic search).
+    - [Ambiguous]: only the may-locksets share a lock — a common lock on
+      some paths, so neither proof nor refutation.
+    - [Unguarded]: no common lock on any path.
+
+    Soundness contract (tested over the corpus and by qcheck): every
+    dynamically observed data race whose endpoints do not hold a common
+    lock falls in [Unguarded ∪ Ambiguous]. *)
+
+type cls = Guarded | Unguarded | Ambiguous
+
+val cls_name : cls -> string
+
+type site = {
+  thread : string;   (** stable thread identity (spec or entry name) *)
+  label : string;    (** static instruction label *)
+  addr : Absaddr.t;
+  kind : Ksim.Instr.access_kind;
+  point : Lockset.point;
+  src : Ksim.Program.loc;
+}
+
+type pair = {
+  site_a : site;
+  site_b : site;
+  cls : cls;
+  witness : string list;
+      (** the common locks: must-locks for [Guarded], may-locks for
+          [Ambiguous], empty for [Unguarded] *)
+}
+
+type result = {
+  group_name : string;
+  thread_names : string list;
+  serial : string list;
+  sites : site list;
+  pairs : pair list;
+}
+
+val analyze : ?serial:string list -> Ksim.Program.group -> result
+(** The full static pre-pass: locksets per thread, MHP, pair
+    enumeration, classification.  [serial] names prologue threads. *)
+
+val classify_points : Lockset.point -> Lockset.point -> cls * string list
+
+val sites_of_thread : Mhp.thread -> site list
+
+val pp_pair : pair Fmt.t

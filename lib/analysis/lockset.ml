@@ -1,0 +1,105 @@
+(* Per-instruction static locksets: a forward must/may dataflow fixpoint
+   over the program's CFG.
+
+   Transfer: Lock l adds l, Unlock l removes l, everything else is the
+   identity.  Merge: intersection for must, union for may.  The entry
+   instruction starts with the empty lockset (threads begin lock-free);
+   unreachable instructions keep must = top — vacuously sound, since no
+   execution reaches them — and are excluded from propagation so they
+   cannot pollute reachable states. *)
+
+module Names = Set.Make (String)
+
+type point = { must : Names.t; may : Names.t }
+
+type t = {
+  points : (string, point) Hashtbl.t;  (* label -> lockset at entry *)
+  universe : Names.t;
+}
+
+let universe t = t.universe
+
+let find t label = Hashtbl.find_opt t.points label
+
+let pp_point ppf { must; may } =
+  Fmt.pf ppf "must:{%a} may:{%a}"
+    (Fmt.list ~sep:Fmt.comma Fmt.string)
+    (Names.elements must)
+    (Fmt.list ~sep:Fmt.comma Fmt.string)
+    (Names.elements may)
+
+let of_program (p : Ksim.Program.t) : t =
+  let n = Ksim.Program.length p in
+  let instr i = (Ksim.Program.get p i).Ksim.Program.instr in
+  let locks =
+    let rec collect i acc =
+      if i >= n then acc
+      else
+        let acc =
+          match instr i with
+          | Ksim.Instr.Lock l | Ksim.Instr.Unlock l -> Names.add l acc
+          | _ -> acc
+        in
+        collect (i + 1) acc
+    in
+    collect 0 Names.empty
+  in
+  let succs i =
+    match instr i with
+    | Ksim.Instr.Branch_if { target; _ } ->
+      let fall = if i + 1 < n then [ i + 1 ] else [] in
+      Ksim.Program.position_of_label p target :: fall
+    | Ksim.Instr.Goto target -> [ Ksim.Program.position_of_label p target ]
+    | Ksim.Instr.Return -> []
+    | _ -> if i + 1 < n then [ i + 1 ] else []
+  in
+  (* Reachability from the entry instruction. *)
+  let reachable = Array.make (max n 1) false in
+  let rec reach i =
+    if i < n && not (reachable.(i)) then (
+      reachable.(i) <- true;
+      List.iter reach (succs i))
+  in
+  if n > 0 then reach 0;
+  let must = Array.make (max n 1) locks in
+  let may = Array.make (max n 1) Names.empty in
+  if n > 0 then must.(0) <- Names.empty;
+  let transfer i s =
+    match instr i with
+    | Ksim.Instr.Lock l -> Names.add l s
+    | Ksim.Instr.Unlock l -> Names.remove l s
+    | _ -> s
+  in
+  (* Chaotic iteration to the fixpoint: must only shrinks, may only
+     grows, both within the finite lock universe — termination is
+     immediate.  The entry keeps must = {} (its virtual predecessor is
+     the lock-free thread start). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if reachable.(i) then
+        let out_must = transfer i must.(i) in
+        let out_may = transfer i may.(i) in
+        List.iter
+          (fun j ->
+            let must' =
+              if j = 0 then must.(0) (* entry: pinned to {} *)
+              else Names.inter must.(j) out_must
+            in
+            let may' = Names.union may.(j) out_may in
+            if not (Names.equal must' must.(j)) then (
+              must.(j) <- must';
+              changed := true);
+            if not (Names.equal may' may.(j)) then (
+              may.(j) <- may';
+              changed := true))
+          (succs i)
+    done
+  done;
+  let points = Hashtbl.create (max n 1) in
+  for i = 0 to n - 1 do
+    Hashtbl.replace points (Ksim.Program.get p i).Ksim.Program.label
+      { must = must.(i); may = may.(i) }
+  done;
+  { points; universe = locks }

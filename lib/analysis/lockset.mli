@@ -1,0 +1,35 @@
+(** Per-instruction static locksets.
+
+    A forward dataflow fixpoint over a program's control-flow graph
+    (labels, forward/backward branches) computing, for every
+    instruction, the locks held {e when it executes}:
+
+    - [must]: held on {e every} path reaching the instruction
+      (intersection at merges) — the classic lockset of Savage et al.'s
+      Eraser, restricted to one thread's program;
+    - [may]: held on {e some} path (union at merges).
+
+    [must] is the sound core: if [must] contains [l], every dynamic
+    execution of the instruction holds [l].  Two accesses whose [must]
+    sets intersect are serialized by that lock and cannot data-race. *)
+
+module Names : Set.S with type elt = string
+
+type point = {
+  must : Names.t;  (** locks held on every path to this instruction *)
+  may : Names.t;   (** locks held on some path to this instruction *)
+}
+
+type t
+
+val of_program : Ksim.Program.t -> t
+
+val find : t -> string -> point option
+(** The lockset at entry of instruction [label]; [None] for labels not
+    in the program.  Unreachable instructions report [must] = all locks
+    (vacuous truth: no execution reaches them). *)
+
+val universe : t -> Names.t
+(** Every lock the program mentions. *)
+
+val pp_point : point Fmt.t

@@ -1,0 +1,86 @@
+(* May-happen-in-parallel from thread structure: top-level concurrency,
+   the serial-prologue discipline, and spawn reachability for
+   background entries. *)
+
+type role = Toplevel of Ksim.Program.context | Entry
+
+type thread = {
+  thread_name : string;
+  program : Ksim.Program.t;
+  role : role;
+  serial : bool;
+}
+
+type t = { all : thread list }
+
+(* Entries a program can spawn. *)
+let spawn_targets (p : Ksim.Program.t) : string list =
+  let n = Ksim.Program.length p in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let acc =
+        match (Ksim.Program.get p i).Ksim.Program.instr with
+        | Ksim.Instr.Queue_work { entry; _ }
+        | Ksim.Instr.Call_rcu { entry; _ }
+        | Ksim.Instr.Arm_timer { entry; _ }
+        | Ksim.Instr.Enable_irq { entry; _ } ->
+          entry :: acc
+        | _ -> acc
+      in
+      go (i + 1) acc
+  in
+  go 0 []
+
+let of_group ?(serial = []) (g : Ksim.Program.group) : t =
+  let top =
+    List.map
+      (fun (s : Ksim.Program.thread_spec) ->
+        { thread_name = s.spec_name;
+          program = s.program;
+          role = Toplevel s.context;
+          serial = List.mem s.spec_name serial })
+      g.Ksim.Program.threads
+  in
+  (* Transitive closure of spawn reachability over the entry table:
+     entries can queue further work themselves. *)
+  let reached = Hashtbl.create 8 in
+  let rec visit entry =
+    if not (Hashtbl.mem reached entry) then
+      match List.assoc_opt entry g.Ksim.Program.entries with
+      | None -> () (* dangling entry name: the machine would fail; skip *)
+      | Some p ->
+        Hashtbl.add reached entry p;
+        List.iter visit (spawn_targets p)
+  in
+  List.iter
+    (fun (s : Ksim.Program.thread_spec) ->
+      List.iter visit (spawn_targets s.program))
+    g.Ksim.Program.threads;
+  let entries =
+    List.filter_map
+      (fun (name, _) ->
+        match Hashtbl.find_opt reached name with
+        | None -> None
+        | Some p ->
+          Some { thread_name = name; program = p; role = Entry; serial = false })
+      g.Ksim.Program.entries
+  in
+  { all = top @ entries }
+
+let threads t = t.all
+
+let find t name =
+  List.find_opt (fun th -> String.equal th.thread_name name) t.all
+
+let may_happen_in_parallel t a b =
+  match find t a, find t b with
+  | Some ta, Some tb -> (
+    match ta.role, tb.role with
+    | Toplevel _, Toplevel _ ->
+      (not (String.equal a b)) && (not ta.serial) && not tb.serial
+    | Entry, _ | _, Entry ->
+      (* Spawned threads run asynchronously: they overlap every other
+         thread, and a re-queued entry overlaps its own instances. *)
+      true)
+  | None, _ | _, None -> false

@@ -1,0 +1,39 @@
+(** May-happen-in-parallel over a program group's threads.
+
+    The thread universe is the group's top-level threads plus every
+    background entry reachable through the spawn instructions
+    (queue_work / call_rcu / arm_timer / enable_irq), transitively —
+    an entry nobody can reach never runs and is excluded.
+
+    The relation is a sound over-approximation of "two instruction
+    instances of these threads can be simultaneously live":
+    - two distinct non-serial top-level threads always may;
+    - a [serial] (resource-setup prologue) top-level thread never
+      overlaps another top-level thread — the executor forces it to
+      run to completion first;
+    - background entries may overlap everything, including other
+      instances of themselves (a work item can be queued twice);
+    - a top-level thread has a single instance, so it never overlaps
+      itself. *)
+
+type role = Toplevel of Ksim.Program.context | Entry
+
+type thread = {
+  thread_name : string;       (** spec name or entry name *)
+  program : Ksim.Program.t;
+  role : role;
+  serial : bool;              (** forced serial prologue *)
+}
+
+type t
+
+val of_group : ?serial:string list -> Ksim.Program.group -> t
+(** [serial] names the top-level threads forced to run serially before
+    the concurrent phase (the diagnose prologue). *)
+
+val threads : t -> thread list
+
+val find : t -> string -> thread option
+
+val may_happen_in_parallel : t -> string -> string -> bool
+(** By thread name (spec or entry name); false for unknown names. *)

@@ -1,0 +1,76 @@
+(* Hand-rolled JSON emission for the analyze report. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ escape s ^ "\""
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let str_list ss = arr (List.map str ss)
+
+let kind_json k = str (Fmt.to_to_string Ksim.Instr.pp_access_kind k)
+
+let site_json (s : Candidates.site) =
+  obj
+    [ ("thread", str s.thread);
+      ("label", str s.label);
+      ("addr", str (Absaddr.to_string s.addr));
+      ("kind", kind_json s.kind);
+      ("func", str s.src.Ksim.Program.func);
+      ("line", string_of_int s.src.Ksim.Program.line);
+      ("must_locks", str_list (Lockset.Names.elements s.point.Lockset.must));
+      ("may_locks", str_list (Lockset.Names.elements s.point.Lockset.may)) ]
+
+let endpoint_json (s : Candidates.site) =
+  obj
+    [ ("thread", str s.thread);
+      ("label", str s.label);
+      ("addr", str (Absaddr.to_string s.addr));
+      ("kind", kind_json s.kind) ]
+
+let pair_json (p : Candidates.pair) =
+  obj
+    [ ("a", endpoint_json p.site_a);
+      ("b", endpoint_json p.site_b);
+      ("class", str (Candidates.cls_name p.cls));
+      ("witness_locks", str_list p.witness) ]
+
+let stats_json (s : Summary.stats) =
+  obj
+    [ ("threads", string_of_int s.n_threads);
+      ("sites", string_of_int s.n_sites);
+      ("pairs", string_of_int s.n_pairs);
+      ("guarded", string_of_int s.n_guarded);
+      ("unguarded", string_of_int s.n_unguarded);
+      ("ambiguous", string_of_int s.n_ambiguous);
+      ("pruning_ratio", Printf.sprintf "%.4f" s.pruning_ratio) ]
+
+let to_string (r : Candidates.result) =
+  obj
+    [ ("group", str r.group_name);
+      ("threads", str_list r.thread_names);
+      ("serial_prologue", str_list r.serial);
+      ("stats", stats_json (Summary.stats r));
+      ("sites", arr (List.map site_json r.sites));
+      ("pairs", arr (List.map pair_json r.pairs)) ]
+
+let pp ppf r = Fmt.string ppf (to_string r)

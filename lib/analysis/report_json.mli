@@ -1,0 +1,12 @@
+(** JSON serialization of the static analysis, for `aitia analyze` and
+    trajectory tracking.  Hand-rolled emission (the repo carries no JSON
+    dependency); strings are escaped per RFC 8259. *)
+
+val escape : string -> string
+(** JSON string contents (without the surrounding quotes). *)
+
+val to_string : Candidates.result -> string
+(** The full report: threads, serial prologue, headline stats, every
+    site with its locksets, every classified pair. *)
+
+val pp : Candidates.result Fmt.t

@@ -1,0 +1,38 @@
+(** Aggregation of a static analysis result: headline statistics and the
+    fast pair-classification lookup LIFS consumes as search hints. *)
+
+type stats = {
+  n_threads : int;
+  n_sites : int;
+  n_pairs : int;      (** statically possible conflicting pairs *)
+  n_guarded : int;
+  n_unguarded : int;
+  n_ambiguous : int;
+  pruning_ratio : float;
+      (** guarded / total pairs: the fraction of the static conflict
+          space a lockset argument eliminates (0 when no pairs) *)
+}
+
+val stats : Candidates.result -> stats
+val pp_stats : stats Fmt.t
+
+type hints
+(** Constant-time classification of a site pair, keyed by the stable
+    (thread name, instruction label) identity {!Ksim.Kcov.site} uses —
+    the currency LIFS's access database already speaks. *)
+
+val hints : Candidates.result -> hints
+
+val classify :
+  hints -> a:string * string -> b:string * string -> Candidates.cls option
+(** [classify h ~a:(thread, label) ~b:(thread, label)]; symmetric;
+    [None] for pairs outside the candidate set. *)
+
+val pair_rank : Candidates.pair -> int
+
+val rank : hints -> a:string * string -> b:string * string -> int
+(** Search priority for LIFS: lifetime-threatening or write-write
+    [Unguarded] pairs 0 (first), other [Unguarded] 1, [Ambiguous] 2,
+    unknown 3, [Guarded] {!guarded_rank} (prunable). *)
+
+val guarded_rank : int

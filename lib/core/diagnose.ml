@@ -61,12 +61,23 @@ let realize (case : case) (slice : Trace.Slicer.t) :
 
 let empty_lifs_result () : Lifs.result =
   { found = None;
-    stats = { schedules = 0; pruned = 0; interleavings = 0; elapsed = 0.;
-              simulated = 0. };
+    stats = { schedules = 0; pruned = 0; static_pruned = 0;
+              interleavings = 0; elapsed = 0.; simulated = 0. };
     db = Ksim.Kcov.empty;
     runs = [] }
 
-let diagnose ?max_interleavings ?max_steps
+(* Static lockset/MHP hints for a realized slice: the prologue threads
+   are the serial part, everything else may interleave. *)
+let hints_of_group (group : Ksim.Program.group) (prologue : int list) :
+    Analysis.Summary.hints =
+  let serial =
+    List.filteri (fun i _ -> List.mem i prologue)
+      group.Ksim.Program.threads
+    |> List.map (fun (s : Ksim.Program.thread_spec) -> s.spec_name)
+  in
+  Analysis.Summary.hints (Analysis.Candidates.analyze ~serial group)
+
+let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
     ?(slice_order = `Nearest_first) (case : case) : report =
   let crash = Trace.History.crash case.history in
   let target = Trace.Crash.matches crash in
@@ -100,9 +111,12 @@ let diagnose ?max_interleavings ?max_steps
               (Fmt.list ~sep:Fmt.comma Fmt.string)
               (Trace.Slicer.threads slice));
         let lifs_vm = Hypervisor.Vm.create group in
+        let hints =
+          if static_hints then Some (hints_of_group group prologue) else None
+        in
         let lifs =
-          Lifs.search ?max_interleavings ?max_steps ~prologue lifs_vm ~target
-            ()
+          Lifs.search ?max_interleavings ?max_steps ~prologue
+            ?static_hints:hints lifs_vm ~target ()
         in
         match lifs.found with
         | None -> try_slices (tried + 1) (widest last_lifs lifs) rest

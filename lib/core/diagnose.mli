@@ -36,11 +36,22 @@ val realize :
 (** Restrict the guest to a slice's threads; resource-closure threads
     become the serial prologue (returned as thread indices). *)
 
+val hints_of_group :
+  Ksim.Program.group -> int list -> Analysis.Summary.hints
+(** Static lockset/MHP hints for a realized slice: the prologue indices
+    name the serial setup threads, everything else may interleave. *)
+
 val diagnose :
   ?max_interleavings:int ->
   ?max_steps:int ->
+  ?static_hints:bool ->
   ?slice_order:[ `Nearest_first | `Farthest_first ] ->
   case ->
   report
 (** The full pipeline.  Tries slices nearest-to-failure first until one
-    reproduces (§4.2); [`Farthest_first] exists for the ablation. *)
+    reproduces (§4.2); [`Farthest_first] exists for the ablation.
+    [static_hints] (default [false]) runs {!Analysis.Candidates.analyze}
+    on each realized slice and feeds the result to {!Lifs.search} so the
+    frontier is visited Unguarded-first and statically Guarded candidate
+    preemptions are skipped; disabled, the pipeline is identical to the
+    hint-free behaviour. *)

@@ -28,6 +28,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type stats = {
   schedules : int;        (* runs actually executed *)
   pruned : int;           (* candidate schedules skipped as equivalent *)
+  static_pruned : int;    (* candidates skipped as statically Guarded *)
   interleavings : int;    (* interleaving count of the failing schedule *)
   elapsed : float;        (* host wall-clock seconds *)
   simulated : float;      (* modeled guest seconds (Vm cost model) *)
@@ -103,16 +104,29 @@ let exists_by n_top (trace : Ksim.Machine.event array) u i =
   !spawned
 
 (* Candidate one-preemption extensions of an executed run, each paired
-   with its equivalence signature: parent schedule, static preemption
-   site, accessed location and switch target.  Candidates that differ
-   only in the dynamic occurrence of the same static site (e.g. every
-   iteration of a statistics loop) are equivalent in the DPOR sense —
-   they order the same conflicting accesses — and are pruned by the
-   caller (the "skip" nodes of Figure 5).  Prologue (resource-setup)
-   threads are forced serial, so preempting them is pointless and they
-   are skipped. *)
-let extensions ~db ~n_top ~prologue (sched : Schedule.preemption)
-    (outcome : Controller.outcome) : (string * Schedule.preemption) list =
+   with its equivalence signature (parent schedule, static preemption
+   site, accessed location and switch target) and a static priority
+   rank.  Candidates that differ only in the dynamic occurrence of the
+   same static site (e.g. every iteration of a statistics loop) are
+   equivalent in the DPOR sense — they order the same conflicting
+   accesses — and are pruned by the caller (the "skip" nodes of
+   Figure 5).  Prologue (resource-setup) threads are forced serial, so
+   preempting them is pointless and they are skipped.
+
+   When static hints are present, each candidate is ranked by the
+   lockset classification of its (preempted site, target site) pairs —
+   Unguarded first, then Ambiguous, then unknown — and a candidate all
+   of whose target pairs are proven Guarded is dropped entirely: a
+   common must-lock serializes the accesses, so the preemption cannot
+   order them differently (returned as the second component, the
+   statically-pruned count).  Without hints every candidate gets the
+   same neutral rank and nothing is dropped: behaviour is bit-identical
+   to the hint-free search. *)
+let neutral_rank = 3
+
+let extensions ~db ~n_top ~prologue ?hints (sched : Schedule.preemption)
+    (outcome : Controller.outcome) :
+    (string * int * Schedule.preemption) list * int =
   let final = outcome.final in
   let trace = Array.of_list outcome.trace in
   let start = extension_start sched trace in
@@ -122,6 +136,7 @@ let extensions ~db ~n_top ~prologue (sched : Schedule.preemption)
       (Ksim.Machine.thread_ids final)
   in
   let out = ref [] in
+  let static_skips = ref 0 in
   Array.iteri
     (fun i (e : Ksim.Machine.event) ->
       if i >= start && not (List.mem e.iid.Iid.tid prologue) then
@@ -135,32 +150,56 @@ let extensions ~db ~n_top ~prologue (sched : Schedule.preemption)
                 if
                   u <> e.iid.Iid.tid
                   && exists_by n_top trace u i
-                  && (not (done_by final trace u i))
-                  && (* the target must itself touch the location *)
-                  List.exists
-                    (fun ((s : Ksim.Kcov.site), k) ->
-                      String.equal s.site_thread
-                        (Ksim.Machine.thread_base final u)
-                      && (a.kind <> Ksim.Instr.Read || k <> Ksim.Instr.Read))
-                    (Ksim.Kcov.accessors db a.addr)
+                  && not (done_by final trace u i)
                 then
-                  let equiv_sig =
-                    Fmt.str "%s|%s:%s@%a->%s"
-                      (Schedule.preemption_key sched)
-                      site.Ksim.Kcov.site_thread site.Ksim.Kcov.site_label
-                      Ksim.Addr.pp a.addr
-                      (Ksim.Machine.thread_base final u)
+                  (* the target must itself touch the location *)
+                  let targets =
+                    List.filter
+                      (fun ((s : Ksim.Kcov.site), k) ->
+                        String.equal s.site_thread
+                          (Ksim.Machine.thread_base final u)
+                        && (a.kind <> Ksim.Instr.Read
+                           || k <> Ksim.Instr.Read))
+                      (Ksim.Kcov.accessors db a.addr)
                   in
-                  out :=
-                    ( equiv_sig,
-                      { sched with
-                        Schedule.switches =
-                          sched.Schedule.switches
-                          @ [ { Schedule.after = e.iid; switch_to = u } ] } )
-                    :: !out)
+                  if targets <> [] then (
+                    let rank =
+                      match hints with
+                      | None -> neutral_rank
+                      | Some h ->
+                        List.fold_left
+                          (fun acc ((s : Ksim.Kcov.site), _) ->
+                            min acc
+                              (Analysis.Summary.rank h
+                                 ~a:
+                                   ( site.Ksim.Kcov.site_thread,
+                                     site.Ksim.Kcov.site_label )
+                                 ~b:(s.site_thread, s.site_label)))
+                          max_int targets
+                    in
+                    if rank >= Analysis.Summary.guarded_rank then
+                      (* every target pair is proven Guarded *)
+                      incr static_skips
+                    else
+                      let equiv_sig =
+                        Fmt.str "%s|%s:%s@%a->%s"
+                          (Schedule.preemption_key sched)
+                          site.Ksim.Kcov.site_thread site.Ksim.Kcov.site_label
+                          Ksim.Addr.pp a.addr
+                          (Ksim.Machine.thread_base final u)
+                      in
+                      out :=
+                        ( equiv_sig,
+                          rank,
+                          { sched with
+                            Schedule.switches =
+                              sched.Schedule.switches
+                              @ [ { Schedule.after = e.iid; switch_to = u } ]
+                          } )
+                        :: !out))
               all_tids)
     trace;
-  List.rev !out
+  (List.rev !out, !static_skips)
 
 (* Exact-duplicate detection: the machine is deterministic, so the
    schedule (order + switches) fully determines the run. *)
@@ -170,7 +209,7 @@ let signature (sched : Schedule.preemption) = Schedule.preemption_key sched
    ablation of DESIGN.md §5.2 measures how many more schedules the
    search runs without it. *)
 let search ?(max_interleavings = default_max_interleavings) ?max_steps
-    ?(prologue = []) ?(prune = true) (vm : Hypervisor.Vm.t)
+    ?(prologue = []) ?(prune = true) ?static_hints (vm : Hypervisor.Vm.t)
     ~(target : Ksim.Failure.t -> bool) () : result =
   let t0 = Unix.gettimeofday () in
   let group = Hypervisor.Vm.group vm in
@@ -182,6 +221,7 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
   let db = ref Ksim.Kcov.empty in
   let seen = Hashtbl.create 256 in
   let pruned = ref 0 in
+  let static_pruned = ref 0 in
   let executed = ref [] in  (* (sched, outcome) newest first *)
   let runs_before = Hypervisor.Vm.runs vm in
   let finish found interleavings =
@@ -190,6 +230,7 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
       stats =
         { schedules = Hypervisor.Vm.runs vm - runs_before;
           pruned = !pruned;
+          static_pruned = !static_pruned;
           interleavings;
           elapsed;
           simulated = Hypervisor.Vm.simulated_seconds vm };
@@ -234,10 +275,21 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
   in
   (* Phase 0: serial executions. *)
   let serial_orders = permutations interesting in
-  let rec run_phase (frontier : (string * Schedule.preemption) list) k =
+  let rec run_phase (frontier : (string * int * Schedule.preemption) list) k =
+    (* With static hints the frontier is visited Unguarded-first — the
+       stable sort keeps the hint-free discovery order within each rank,
+       so a hint table that ranks everything equally changes nothing. *)
+    let frontier =
+      match static_hints with
+      | None -> frontier
+      | Some _ ->
+        List.stable_sort
+          (fun (_, ra, _) (_, rb, _) -> compare ra rb)
+          frontier
+    in
     let failed = ref None in
     List.iter
-      (fun (equiv_sig, sched) ->
+      (fun (equiv_sig, _rank, sched) ->
         if !failed = None then (
           let key = signature sched in
           if
@@ -276,13 +328,19 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
         in
         let next =
           List.concat_map
-            (fun (s, o) -> extensions ~db:!db ~n_top ~prologue s o)
+            (fun (s, o) ->
+              let cands, skips =
+                extensions ~db:!db ~n_top ~prologue ?hints:static_hints s o
+              in
+              static_pruned := !static_pruned + skips;
+              cands)
             parents
         in
         run_phase next (k + 1))
   in
   run_phase
     (List.map (fun o -> (Schedule.preemption_key (Schedule.serial o),
+                         neutral_rank,
                          Schedule.serial o))
        serial_orders)
     0

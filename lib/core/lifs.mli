@@ -7,6 +7,7 @@
 type stats = {
   schedules : int;      (** runs actually executed *)
   pruned : int;         (** candidates skipped as equivalent *)
+  static_pruned : int;  (** candidates skipped as statically Guarded *)
   interleavings : int;  (** interleaving count of the failing schedule *)
   elapsed : float;      (** host wall-clock seconds *)
   simulated : float;    (** modeled guest seconds (Vm cost model) *)
@@ -37,9 +38,15 @@ val search :
   ?max_steps:int ->
   ?prologue:int list ->
   ?prune:bool ->
+  ?static_hints:Analysis.Summary.hints ->
   Hypervisor.Vm.t ->
   target:(Ksim.Failure.t -> bool) ->
   unit ->
   result
 (** [prologue] threads are forced to run serially first (resource
-    setup); [prune:false] disables equivalence pruning (ablation). *)
+    setup); [prune:false] disables equivalence pruning (ablation).
+    [static_hints] (from {!Analysis.Candidates.analyze}) reorders each
+    frontier Unguarded-first and drops candidate preemptions whose every
+    conflicting target pair is statically Guarded (counted in
+    [static_pruned]); omitting it leaves the search bit-identical to the
+    hint-free behaviour. *)

@@ -3,8 +3,12 @@
 
 let pp_lifs_stats ppf (s : Lifs.stats) =
   Fmt.pf ppf
-    "LIFS: %d schedule(s), %d pruned, interleaving count %d, %.1f simulated s"
-    s.schedules s.pruned s.interleavings s.simulated
+    "LIFS: %d schedule(s), %d pruned%a, interleaving count %d, %.1f \
+     simulated s"
+    s.schedules s.pruned
+    (fun ppf n ->
+      if n > 0 then Fmt.pf ppf " (+%d statically guarded)" n)
+    s.static_pruned s.interleavings s.simulated
 
 let pp_ca_stats ppf (s : Causality.stats) =
   Fmt.pf ppf "Causality Analysis: %d schedule(s), %.1f simulated s"

@@ -1,0 +1,470 @@
+(* The static lockset / MHP analyzer: unit tests on small programs and
+   the soundness contract over the full bug corpus — every dynamically
+   observed data race must be statically classified Unguarded or
+   Ambiguous, and seeding LIFS with the hints must not lose any
+   reproduction. *)
+
+open Ksim.Program.Build
+module Iid = Ksim.Access.Iid
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let check_names msg expected actual =
+  Alcotest.(check (list string))
+    msg expected
+    (Analysis.Lockset.Names.elements actual)
+
+let prog instrs = Ksim.Program.make ~name:"p" instrs
+
+let point_at p label =
+  match Analysis.Lockset.find (Analysis.Lockset.of_program p) label with
+  | Some pt -> pt
+  | None -> Alcotest.failf "no lockset point at %s" label
+
+(* --- absaddr ---------------------------------------------------------- *)
+
+let test_absaddr_of_instr () =
+  let open Ksim.Instr in
+  Alcotest.(check (option (pair string string)))
+    "free is a whole-object write"
+    (Some ("obj", "W"))
+    (Option.map
+       (fun (a, k) ->
+         (Analysis.Absaddr.to_string a, Fmt.to_to_string pp_access_kind k))
+       (Analysis.Absaddr.of_instr (Free { ptr = Reg "p" })));
+  checkb "alloc is not an access" true
+    (Analysis.Absaddr.of_instr
+       (Alloc
+          { dst = "p"; tag = "obj"; fields = []; slots = 0;
+            leak_check = false })
+    = None);
+  checkb "store to a global" true
+    (Analysis.Absaddr.of_instr (Store { dst = Global "g"; src = Const (Ksim.Value.Int 1) })
+    = Some (Analysis.Absaddr.Global "g", Write))
+
+let test_absaddr_alias () =
+  let open Analysis.Absaddr in
+  checkb "same global aliases" true (may_alias (Global "g") (Global "g"));
+  checkb "distinct globals do not" false
+    (may_alias (Global "g") (Global "h"));
+  checkb "same field name aliases" true
+    (may_alias (Field "state") (Field "state"));
+  checkb "distinct fields do not" false
+    (may_alias (Field "state") (Field "next"));
+  checkb "slots alias slots" true (may_alias Slot Slot);
+  checkb "field vs slot do not" false (may_alias (Field "state") Slot);
+  checkb "whole aliases fields" true (may_alias Whole (Field "state"));
+  checkb "whole aliases slots" true (may_alias Slot Whole);
+  checkb "whole does not alias globals" false (may_alias Whole (Global "g"));
+  checkb "read-read does not conflict" false
+    (conflicting_kinds Ksim.Instr.Read Ksim.Instr.Read);
+  checkb "read-write conflicts" true
+    (conflicting_kinds Ksim.Instr.Read Ksim.Instr.Write);
+  checkb "update-update conflicts" true
+    (conflicting_kinds Ksim.Instr.Update Ksim.Instr.Update)
+
+(* --- lockset ---------------------------------------------------------- *)
+
+let test_lockset_straight_line () =
+  let p =
+    prog
+      [ store "s0" (g "x") (cint 0);
+        lock "l1" "m";
+        store "s1" (g "x") (cint 1);
+        unlock "u1" "m";
+        store "s2" (g "x") (cint 2) ]
+  in
+  check_names "before lock" [] (point_at p "s0").must;
+  check_names "inside lock" [ "m" ] (point_at p "s1").must;
+  check_names "after unlock" [] (point_at p "s2").must;
+  (* the Unlock instruction itself still executes holding the lock *)
+  check_names "at unlock" [ "m" ] (point_at p "u1").must
+
+let test_lockset_nested () =
+  let p =
+    prog
+      [ lock "l1" "outer";
+        lock "l2" "inner";
+        store "s1" (g "x") (cint 1);
+        unlock "u2" "inner";
+        store "s2" (g "x") (cint 2);
+        unlock "u1" "outer" ]
+  in
+  check_names "nested region" [ "inner"; "outer" ] (point_at p "s1").must;
+  check_names "after inner unlock" [ "outer" ] (point_at p "s2").must
+
+let test_lockset_reacquire () =
+  let p =
+    prog
+      [ lock "l1" "m";
+        store "s1" (g "x") (cint 1);
+        unlock "u1" "m";
+        lock "l2" "m";
+        store "s2" (g "x") (cint 2);
+        unlock "u2" "m" ]
+  in
+  check_names "first region" [ "m" ] (point_at p "s1").must;
+  check_names "second region" [ "m" ] (point_at p "s2").must
+
+let test_lockset_branch_merge () =
+  (* the lock is taken on one path only: after the merge it is may-held
+     but not must-held *)
+  let p =
+    prog
+      [ load "ld" "r" (g "cond");
+        branch_if "b" (Eq (reg "r", cint 0)) "merge";
+        lock "l1" "m";
+        store "s1" (g "x") (cint 1);
+        store "merge" (g "x") (cint 2) ]
+  in
+  check_names "locked path" [ "m" ] (point_at p "s1").must;
+  check_names "merge must" [] (point_at p "merge").must;
+  check_names "merge may" [ "m" ] (point_at p "merge").may
+
+let test_lockset_unreachable () =
+  let p =
+    prog
+      [ lock "l1" "m";
+        return "r1";
+        store "dead" (g "x") (cint 1) ]
+  in
+  (* vacuously guarded: no execution reaches it, and the top element is
+     the whole lock universe *)
+  check_names "unreachable must = universe" [ "m" ]
+    (point_at p "dead").must
+
+let test_lockset_loop () =
+  (* a loop body whose lock/unlock is balanced per iteration keeps a
+     stable lockset at the head *)
+  let p =
+    prog
+      [ assign "i0" "i" (cint 0);
+        lock "head" "m";
+        store "s1" (g "x") (cint 1);
+        unlock "u1" "m";
+        assign "inc" "i" (Add (reg "i", cint 1));
+        branch_if "back" (Lt (reg "i", cint 3)) "head";
+        store "out" (g "x") (cint 2) ]
+  in
+  check_names "loop body" [ "m" ] (point_at p "s1").must;
+  check_names "after loop" [] (point_at p "out").must
+
+(* --- mhp -------------------------------------------------------------- *)
+
+let spec name ?(instrs = [ nop (name ^ "0") ]) () =
+  { Ksim.Program.spec_name = name;
+    context = Ksim.Program.Syscall { call = name; sysno = 0 };
+    program = Ksim.Program.make ~name instrs;
+    resources = [] }
+
+let test_mhp () =
+  let group =
+    Ksim.Program.group ~name:"mhp"
+      ~entries:
+        [ ("worker", prog [ nop "w0" ]);
+          ("orphan", prog [ nop "o0" ]) ]
+      [ spec "init" ();
+        spec "A" ~instrs:[ queue_work "A0" "worker" ] ();
+        spec "B" () ]
+  in
+  let m = Analysis.Mhp.of_group ~serial:[ "init" ] group in
+  let mhp = Analysis.Mhp.may_happen_in_parallel m in
+  checkb "A ∥ B" true (mhp "A" "B");
+  checkb "serial init ∦ A" false (mhp "init" "A");
+  checkb "a thread never overlaps itself" false (mhp "A" "A");
+  checkb "spawned entry ∥ B" true (mhp "worker" "B");
+  checkb "entry overlaps itself (re-queue)" true (mhp "worker" "worker");
+  checkb "entry overlaps serial too" true (mhp "worker" "init");
+  checkb "unreachable entry excluded" true
+    (Analysis.Mhp.find m "orphan" = None);
+  checkb "unknown names are not parallel" false (mhp "A" "nosuch")
+
+(* --- candidate classification ----------------------------------------- *)
+
+let two_threads a_instrs b_instrs ~locks =
+  Ksim.Program.group ~name:"pairs" ~locks
+    ~globals:[ ("x", Ksim.Value.Int 0); ("cond", Ksim.Value.Int 0) ]
+    [ spec "A" ~instrs:a_instrs (); spec "B" ~instrs:b_instrs () ]
+
+let the_pair (r : Analysis.Candidates.result) =
+  match r.pairs with
+  | [ p ] -> p
+  | ps -> Alcotest.failf "expected one pair, got %d" (List.length ps)
+
+let test_classify_guarded () =
+  let group =
+    two_threads ~locks:[ "m" ]
+      [ lock "A1" "m"; store "A2" (g "x") (cint 1); unlock "A3" "m" ]
+      [ lock "B1" "m"; store "B2" (g "x") (cint 2); unlock "B3" "m" ]
+  in
+  let p = the_pair (Analysis.Candidates.analyze group) in
+  checkb "guarded" true (p.cls = Analysis.Candidates.Guarded);
+  Alcotest.(check (list string)) "witness" [ "m" ] p.witness
+
+let test_classify_ambiguous () =
+  let group =
+    two_threads ~locks:[ "m" ]
+      [ load "A0" "r" (g "cond");
+        branch_if "A1" (Eq (reg "r", cint 0)) "A3";
+        lock "A2" "m";
+        store "A3" (g "x") (cint 1) ]
+      [ lock "B1" "m"; store "B2" (g "x") (cint 2); unlock "B3" "m" ]
+  in
+  let r = Analysis.Candidates.analyze group in
+  (* A0 reads cond, B never touches cond; the only conflicting pair is
+     A3/B2 on x *)
+  let p = the_pair r in
+  checkb "ambiguous" true (p.cls = Analysis.Candidates.Ambiguous);
+  Alcotest.(check (list string)) "witness" [ "m" ] p.witness
+
+let test_classify_unguarded () =
+  let group =
+    two_threads ~locks:[]
+      [ store "A1" (g "x") (cint 1) ]
+      [ store "B1" (g "x") (cint 2) ]
+  in
+  let p = the_pair (Analysis.Candidates.analyze group) in
+  checkb "unguarded" true (p.cls = Analysis.Candidates.Unguarded);
+  checkb "no witness" true (p.witness = [])
+
+let test_classify_filters () =
+  (* read-read pairs and serial-thread pairs are not candidates *)
+  let group =
+    two_threads ~locks:[]
+      [ load "A1" "r" (g "x") ]
+      [ load "B1" "r" (g "x") ]
+  in
+  checki "read-read excluded" 0
+    (List.length (Analysis.Candidates.analyze group).pairs);
+  let group =
+    two_threads ~locks:[]
+      [ store "A1" (g "x") (cint 1) ]
+      [ store "B1" (g "x") (cint 2) ]
+  in
+  checki "serial thread excluded" 0
+    (List.length
+       (Analysis.Candidates.analyze ~serial:[ "A" ] group).pairs)
+
+(* --- hints and ranks --------------------------------------------------- *)
+
+let test_hints_rank () =
+  let group =
+    two_threads ~locks:[ "m" ]
+      [ lock "A1" "m"; store "A2" (g "x") (cint 1); unlock "A3" "m" ]
+      [ lock "B1" "m"; store "B2" (g "x") (cint 2); unlock "B3" "m" ]
+  in
+  let h = Analysis.Summary.hints (Analysis.Candidates.analyze group) in
+  checki "guarded pair ranks prunable" Analysis.Summary.guarded_rank
+    (Analysis.Summary.rank h ~a:("A", "A2") ~b:("B", "B2"));
+  checki "symmetric" Analysis.Summary.guarded_rank
+    (Analysis.Summary.rank h ~a:("B", "B2") ~b:("A", "A2"));
+  checkb "classify" true
+    (Analysis.Summary.classify h ~a:("A", "A2") ~b:("B", "B2")
+    = Some Analysis.Candidates.Guarded);
+  checkb "unknown pair below unguarded, above guarded" true
+    (let unknown = Analysis.Summary.rank h ~a:("A", "A9") ~b:("B", "B9") in
+     unknown > 0 && unknown < Analysis.Summary.guarded_rank)
+
+let test_stats () =
+  let group =
+    two_threads ~locks:[ "m" ]
+      [ lock "A1" "m"; store "A2" (g "x") (cint 1); unlock "A3" "m" ]
+      [ store "B1" (g "x") (cint 2) ]
+  in
+  let s = Analysis.Summary.stats (Analysis.Candidates.analyze group) in
+  checki "threads" 2 s.n_threads;
+  checki "pairs" 1 s.n_pairs;
+  checki "guarded" 0 s.n_guarded;
+  checki "unguarded" 1 s.n_unguarded
+
+(* --- report JSON -------------------------------------------------------- *)
+
+let test_json_escaping () =
+  Alcotest.(check string)
+    "escapes" "a\\\"b\\\\c\\nd\\u0001"
+    (Analysis.Report_json.escape "a\"b\\c\nd\x01")
+
+let test_json_shape () =
+  let group =
+    two_threads ~locks:[ "m" ]
+      [ lock "A1" "m"; store "A2" (g "x") (cint 1); unlock "A3" "m" ]
+      [ store "B1" (g "x") (cint 2) ]
+  in
+  let s = Analysis.Report_json.to_string (Analysis.Candidates.analyze group) in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i =
+      i + nl <= sl && (String.sub s i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      checkb (Fmt.str "report contains %s" needle) true (contains needle))
+    [ "\"group\":\"pairs\""; "\"must_locks\":[\"m\"]";
+      "\"class\":\"unguarded\""; "\"pruning_ratio\"" ]
+
+(* --- LIFS integration --------------------------------------------------- *)
+
+(* A guarded store pair plus an unguarded one: with hints, every
+   candidate preemption around the guarded pair is skipped and counted,
+   and the search result is unchanged. *)
+let test_lifs_static_prune () =
+  let group =
+    two_threads ~locks:[ "m" ]
+      [ lock "A1" "m"; store "A2" (g "x") (cint 1); unlock "A3" "m" ]
+      [ lock "B1" "m"; store "B2" (g "x") (cint 2); unlock "B3" "m" ]
+  in
+  let hints = Analysis.Summary.hints (Analysis.Candidates.analyze group) in
+  let search ?static_hints () =
+    let vm = Hypervisor.Vm.create group in
+    Aitia.Lifs.search ?static_hints ~max_interleavings:2 vm
+      ~target:(fun _ -> true) ()
+  in
+  let plain = search () in
+  let hinted = search ~static_hints:hints () in
+  checkb "nothing fails either way" true
+    (plain.found = None && hinted.found = None);
+  checki "no static pruning without hints" 0 plain.stats.static_pruned;
+  checkb "guarded candidates skipped" true
+    (hinted.stats.static_pruned > 0);
+  checkb "hinted explores no more schedules" true
+    (hinted.stats.schedules <= plain.stats.schedules)
+
+(* --- corpus soundness ---------------------------------------------------- *)
+
+(* One diagnosis pass per bug, plain and hinted, shared by the corpus
+   tests below. *)
+let corpus =
+  lazy
+    (List.map
+       (fun (bug : Bugs.Bug.t) ->
+         let case = bug.case () in
+         let plain =
+           Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+             case
+         in
+         let hinted =
+           Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+             ~static_hints:true case
+         in
+         (bug, case, plain, hinted))
+       Bugs.Registry.all)
+
+(* Soundness: every data race LIFS observed dynamically — both endpoints
+   executed, no common lock held — must be statically classified
+   Unguarded or Ambiguous by the full-group analysis.  (A commonly
+   locked pair may legitimately be Guarded: that is the
+   critical-section-order case lockset reasoning proves race-free.) *)
+let test_soundness (bug : Bugs.Bug.t) (case : Aitia.Diagnose.case)
+    (plain : Aitia.Diagnose.report) () =
+  match plain.lifs.found with
+  | None -> Alcotest.failf "%s did not reproduce" bug.id
+  | Some success ->
+    let hints =
+      Analysis.Summary.hints
+        (Analysis.Candidates.analyze ~serial:[] case.group)
+    in
+    let final = success.outcome.final in
+    let site (a : Ksim.Access.t) =
+      (Ksim.Machine.thread_base final a.iid.Iid.tid, a.iid.Iid.label)
+    in
+    List.iter
+      (fun (r : Aitia.Race.t) ->
+        if
+          Aitia.Race.occurred_in success.outcome.trace r
+          && not (Aitia.Race.is_cs_order r)
+        then
+          match
+            Analysis.Summary.classify hints ~a:(site r.first)
+              ~b:(site r.second)
+          with
+          | Some Analysis.Candidates.Unguarded
+          | Some Analysis.Candidates.Ambiguous -> ()
+          | Some Analysis.Candidates.Guarded ->
+            Alcotest.failf "%s: race %a classified Guarded" bug.id
+              Aitia.Race.pp_short r
+          | None ->
+            Alcotest.failf "%s: race %a missed by the static analysis"
+              bug.id Aitia.Race.pp_short r)
+      success.races
+
+(* Reproduction parity: the hinted search may explore a different number
+   of schedules (usually fewer; the ordering heuristic can lose on an
+   individual case) but must reproduce exactly what the plain search
+   reproduces. *)
+let test_hinted_parity (plain : Aitia.Diagnose.report)
+    (hinted : Aitia.Diagnose.report) () =
+  checkb "hinted reproduces" (Aitia.Diagnose.reproduced plain)
+    (Aitia.Diagnose.reproduced hinted)
+
+(* In aggregate the hints must pay for themselves: on the 22 real-world
+   bugs, at least half reproduce with strictly fewer schedules. *)
+let test_hinted_aggregate () =
+  let real =
+    List.filter
+      (fun ((bug : Bugs.Bug.t), _, _, _) ->
+        match bug.source with
+        | Bugs.Bug.Cve _ | Bugs.Bug.Syzkaller _ -> true
+        | Bugs.Bug.Figure _ | Bugs.Bug.Extension _ -> false)
+      (Lazy.force corpus)
+  in
+  let improved =
+    List.length
+      (List.filter
+         (fun (_, _, (p : Aitia.Diagnose.report),
+               (h : Aitia.Diagnose.report)) ->
+           h.lifs.stats.schedules < p.lifs.stats.schedules)
+         real)
+  in
+  checkb
+    (Fmt.str "%d of %d bugs explore strictly fewer schedules" improved
+       (List.length real))
+    true
+    (2 * improved >= List.length real)
+
+let corpus_cases () =
+  List.concat_map
+    (fun (bug, case, plain, hinted) ->
+      [ Alcotest.test_case
+          (bug.Bugs.Bug.id ^ " soundness") `Quick
+          (test_soundness bug case plain);
+        Alcotest.test_case
+          (bug.Bugs.Bug.id ^ " hinted parity") `Quick
+          (test_hinted_parity plain hinted) ])
+    (Lazy.force corpus)
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "absaddr",
+        [ Alcotest.test_case "of_instr" `Quick test_absaddr_of_instr;
+          Alcotest.test_case "aliasing" `Quick test_absaddr_alias ] );
+      ( "lockset",
+        [ Alcotest.test_case "straight line" `Quick
+            test_lockset_straight_line;
+          Alcotest.test_case "nested" `Quick test_lockset_nested;
+          Alcotest.test_case "re-acquire" `Quick test_lockset_reacquire;
+          Alcotest.test_case "branch merge" `Quick
+            test_lockset_branch_merge;
+          Alcotest.test_case "unreachable" `Quick test_lockset_unreachable;
+          Alcotest.test_case "loop" `Quick test_lockset_loop ] );
+      ("mhp", [ Alcotest.test_case "relation" `Quick test_mhp ]);
+      ( "candidates",
+        [ Alcotest.test_case "guarded" `Quick test_classify_guarded;
+          Alcotest.test_case "ambiguous" `Quick test_classify_ambiguous;
+          Alcotest.test_case "unguarded" `Quick test_classify_unguarded;
+          Alcotest.test_case "filters" `Quick test_classify_filters ] );
+      ( "summary",
+        [ Alcotest.test_case "hints and ranks" `Quick test_hints_rank;
+          Alcotest.test_case "stats" `Quick test_stats ] );
+      ( "json",
+        [ Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "shape" `Quick test_json_shape ] );
+      ( "lifs",
+        [ Alcotest.test_case "static pruning" `Quick
+            test_lifs_static_prune ] );
+      ("corpus", corpus_cases ());
+      ( "aggregate",
+        [ Alcotest.test_case "hints pay off on half the corpus" `Quick
+            test_hinted_aggregate ] ) ]

@@ -467,6 +467,88 @@ let prop_ca_verdicts_are_witnessed =
             | _, _ -> false)
           ca.tested)
 
+(* --- static analysis soundness ---------------------------------------------- *)
+
+(* Straight-line programs whose accesses are randomly wrapped in
+   balanced lock blocks over a small lock pool. *)
+let locks = [ "m0"; "m1" ]
+
+let gen_locked_program ~prefix : Ksim.Program.labeled list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n_blocks = int_range 1 4 in
+  let gen_access j =
+    let label = Fmt.str "%s%d" prefix j in
+    let* gvar = oneofl globals in
+    let* k = int_range 0 1 in
+    if k = 0 then return (load label "r" (g gvar))
+    else
+      let* v = int_range 0 9 in
+      return (store label (g gvar) (cint v))
+  in
+  let gen_block b =
+    let* m = int_range 1 3 in
+    let* accesses =
+      flatten_l (List.init m (fun j -> gen_access ((b * 10) + j)))
+    in
+    let* lk = opt (oneofl locks) in
+    match lk with
+    | None -> return accesses
+    | Some l ->
+      return
+        ((lock (Fmt.str "%sL%d" prefix b) l :: accesses)
+        @ [ unlock (Fmt.str "%sU%d" prefix b) l ])
+  in
+  let* blocks = flatten_l (List.init n_blocks gen_block) in
+  return (List.concat blocks)
+
+let gen_locked_group : Ksim.Program.group QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* pa = gen_locked_program ~prefix:"a" in
+  let* pb = gen_locked_program ~prefix:"b" in
+  let thread name instrs =
+    { Ksim.Program.spec_name = name;
+      context = Ksim.Program.Syscall { call = name; sysno = 0 };
+      program = Ksim.Program.make ~name instrs;
+      resources = [] }
+  in
+  return
+    (Ksim.Program.group ~name:"prop-locks" ~locks
+       ~globals:(List.map (fun gv -> (gv, Ksim.Value.Int 0)) globals)
+       [ thread "A" pa; thread "B" pb ])
+
+(* Lockset soundness (the Eraser invariant): a pair the static analysis
+   classifies Guarded holds a common lock in every execution, so any
+   dynamic race between those two sites must be a critical-section-order
+   pair — never a lock-free data race. *)
+let prop_guarded_pairs_never_data_race =
+  QCheck.Test.make ~count:300
+    ~name:"statically Guarded pairs never data-race dynamically"
+    (QCheck.make
+       ~print:(fun (grp, seed) ->
+         Fmt.str "group %s, seed %d" grp.Ksim.Program.group_name seed)
+       QCheck.Gen.(pair gen_locked_group gen_seed))
+    (fun (group, seed) ->
+      let hints =
+        Analysis.Summary.hints (Analysis.Candidates.analyze group)
+      in
+      let o = random_run group seed in
+      let site (a : Ksim.Access.t) =
+        (Ksim.Machine.thread_base o.final a.iid.Iid.tid, a.iid.Iid.label)
+      in
+      List.for_all
+        (fun (r : Aitia.Race.t) ->
+          match
+            Analysis.Summary.classify hints ~a:(site r.first)
+              ~b:(site r.second)
+          with
+          | Some Analysis.Candidates.Guarded -> Aitia.Race.is_cs_order r
+          | Some Analysis.Candidates.Unguarded
+          | Some Analysis.Candidates.Ambiguous -> true
+          | None ->
+            (* a race the static pass missed would be unsound *)
+            false)
+        (Aitia.Race.of_trace o.trace))
+
 let () =
   Alcotest.run "props"
     [ ( "qcheck",
@@ -477,5 +559,6 @@ let () =
             prop_rng_shuffle_permutes; prop_flip_plan_preserves_events;
             prop_flip_plan_inverts_order; prop_lifs_matches_brute_force;
             prop_lifs_matches_brute_force_k2; prop_failing_schedule_replays;
-            prop_ca_verdicts_are_witnessed ]
+            prop_ca_verdicts_are_witnessed;
+            prop_guarded_pairs_never_data_race ]
       ) ]
