@@ -40,6 +40,23 @@ let report_of (bug : Bugs.Bug.t) =
 let chain_len (r : Aitia.Diagnose.report) =
   match r.chain with Some c -> Aitia.Chain.length c | None -> 0
 
+let chain_str (r : Aitia.Diagnose.report) =
+  match r.chain with Some c -> Aitia.Chain.to_string c | None -> "-"
+
+(* Machine-readable artifact sink (--json FILE): targets that produce
+   trackable rows write them here instead of a stdout trailer. *)
+let json_file : string option ref = ref None
+
+let emit_json ~target doc =
+  match !json_file with
+  | Some f ->
+    let oc = open_out f in
+    output_string oc doc;
+    output_string oc "\n";
+    close_out oc;
+    pr "%s json written to %s@." target f
+  | None -> pr "json: %s@." doc
+
 (* --- Table 1 ------------------------------------------------------------- *)
 
 let table1 () =
@@ -573,20 +590,76 @@ let analysis () =
       pr "%-18s %6d %8d %7.2f | %9d %9d %7d %6.2fx@." bug.id stats.n_pairs
         stats.n_guarded stats.pruning_ratio ps hs
         hinted.lifs.stats.static_pruned speedup;
+      let open Analysis.Report_json in
       rows :=
-        Printf.sprintf
-          "{\"bug\":\"%s\",\"pairs\":%d,\"guarded\":%d,\"unguarded\":%d,\
-           \"ambiguous\":%d,\"pruning_ratio\":%.4f,\"plain_schedules\":%d,\
-           \"hinted_schedules\":%d,\"static_pruned\":%d,\"speedup\":%.4f,\
-           \"plain_reproduced\":%b,\"hinted_reproduced\":%b}"
-          (Analysis.Report_json.escape bug.id)
-          stats.n_pairs stats.n_guarded stats.n_unguarded stats.n_ambiguous
-          stats.pruning_ratio ps hs hinted.lifs.stats.static_pruned speedup
-          (Aitia.Diagnose.reproduced plain)
-          (Aitia.Diagnose.reproduced hinted)
+        obj
+          [ ("bug", str bug.id);
+            ("pairs", int stats.n_pairs);
+            ("guarded", int stats.n_guarded);
+            ("unguarded", int stats.n_unguarded);
+            ("ambiguous", int stats.n_ambiguous);
+            ("pruning_ratio", float stats.pruning_ratio);
+            ("plain_schedules", int ps);
+            ("hinted_schedules", int hs);
+            ("static_pruned", int hinted.lifs.stats.static_pruned);
+            ("speedup", float speedup);
+            ("plain_reproduced", bool (Aitia.Diagnose.reproduced plain));
+            ("hinted_reproduced", bool (Aitia.Diagnose.reproduced hinted)) ]
         :: !rows)
     (Bugs.Registry.cves @ Bugs.Registry.syzkaller);
-  pr "json: [%s]@." (String.concat "," (List.rev !rows))
+  emit_json ~target:"analysis" (Analysis.Report_json.arr (List.rev !rows))
+
+(* --- Causality Analysis pruning scenario ----------------------------------- *)
+
+(* Flip-feasibility pruning: per bug, plain Causality Analysis vs the
+   statically pruned one — flips executed, flips pruned, schedules and
+   simulated cost, with the chain-parity check that makes the pruning
+   trustworthy.  Rows land in BENCH_causality.json under --json. *)
+let causality () =
+  section
+    "Causality Analysis: static flip-feasibility pruning (plain vs hinted)";
+  pr "%-18s %6s | %7s %7s %7s | %8s %8s | %s@." "bug" "flips" "plain#s"
+    "hint#s" "pruned" "plain(s)" "hint(s)" "chain";
+  let rows = ref [] in
+  List.iter
+    (fun (bug : Bugs.Bug.t) ->
+      let plain = report_of bug in
+      let hinted =
+        Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+          ~static_hints:true (bug.case ())
+      in
+      match plain.causality, hinted.causality with
+      | Some pca, Some hca ->
+        let flips = List.length pca.tested in
+        let executed =
+          List.length
+            (List.filter
+               (fun (t : Aitia.Causality.tested) -> t.pruned = None)
+               hca.tested)
+        in
+        let pruned = hca.stats.flips_statically_pruned in
+        let same_chain = String.equal (chain_str plain) (chain_str hinted) in
+        pr "%-18s %6d | %7d %7d %7d | %8.1f %8.1f | %s@." bug.id flips
+          pca.stats.schedules hca.stats.schedules pruned pca.stats.simulated
+          hca.stats.simulated
+          (if same_chain then "identical" else "DIFFERS");
+        let open Analysis.Report_json in
+        rows :=
+          obj
+            [ ("bug", str bug.id);
+              ("flips", int flips);
+              ("flips_executed", int executed);
+              ("flips_pruned", int pruned);
+              ("plain_ca_schedules", int pca.stats.schedules);
+              ("hinted_ca_schedules", int hca.stats.schedules);
+              ("plain_ca_simulated", float pca.stats.simulated);
+              ("hinted_ca_simulated", float hca.stats.simulated);
+              ("chain_identical", bool same_chain) ]
+          :: !rows
+      | _ -> pr "%-18s not diagnosed@." bug.id)
+    (Bugs.Registry.cves @ Bugs.Registry.syzkaller);
+  emit_json ~target:"causality"
+    (Analysis.Report_json.arr (List.rev !rows))
 
 (* --- micro-benchmarks (bechamel) ------------------------------------------------- *)
 
@@ -671,10 +744,21 @@ let all_targets =
     ("fig6", fig6); ("fig7", fig7); ("fig9", fig9);
     ("conciseness", conciseness); ("detector", detector); ("study", study);
     ("wrongfix", wrongfix); ("ablations", ablations);
-    ("analysis", analysis); ("micro", micro) ]
+    ("analysis", analysis); ("causality", causality); ("micro", micro) ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let raw = List.tl (Array.to_list Sys.argv) in
+  let rec split targets = function
+    | [] -> List.rev targets
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      split targets rest
+    | [ "--json" ] ->
+      Fmt.epr "--json needs a FILE argument@.";
+      exit 1
+    | a :: rest -> split (a :: targets) rest
+  in
+  let args = split [] raw in
   let selected =
     match args with
     | [] -> all_targets

@@ -3,6 +3,7 @@
    aitia list                 — the modeled bug corpus
    aitia diagnose <id> …      — run the full pipeline, print the report
    aitia analyze <id> …       — static lockset/MHP analysis, JSON report
+   aitia lint <id> …          — static lock-order lint (cycles, inversions)
    aitia chain <id> …         — print only the causality chain
    aitia fuzz <id> [--seed n] — fuzz the workload, then diagnose the crash
    aitia compare <id> …       — run the prior-work baselines on a bug
@@ -154,6 +155,56 @@ let analyze_cmd =
              classified Guarded, Unguarded or Ambiguous")
     Term.(const run $ setup_logs $ bug_arg)
 
+(* --- lint ------------------------------------------------------------- *)
+
+let lint_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the lint report as a JSON array")
+  in
+  let run () ids json =
+    let bugs = resolve ids in
+    let reports =
+      List.map
+        (fun (bug : Bugs.Bug.t) ->
+          let case = bug.case () in
+          let serial = serial_names case in
+          (bug, Analysis.Lockorder.analyze ~serial case.group))
+        bugs
+    in
+    if json then
+      Fmt.pr "[%s]@."
+        (String.concat ","
+           (List.map
+              (fun ((bug : Bugs.Bug.t), r) ->
+                Analysis.Report_json.obj
+                  [ ("bug", Analysis.Report_json.str bug.id);
+                    ("lint", Analysis.Report_json.lint_to_string r) ])
+              reports))
+    else
+      List.iter
+        (fun ((bug : Bugs.Bug.t), r) ->
+          let ls = Analysis.Summary.lint_stats r in
+          Fmt.pr "%-18s %a%s@." bug.id Analysis.Summary.pp_lint_stats ls
+            (if Analysis.Summary.clean ls then "" else "  [FLAGGED]");
+          List.iter
+            (fun c -> Fmt.pr "  cycle: %a@." Analysis.Lockorder.pp_cycle c)
+            r.cycles;
+          List.iter
+            (fun v ->
+              Fmt.pr "  inversion: %a@." Analysis.Lockorder.pp_inversion v)
+            r.inversions)
+        reports;
+    0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Lockdep-style static lock-order lint: build the cross-thread \
+             lock-acquisition-order graph from the per-instruction \
+             locksets, report cycles (potential ABBA deadlocks) with \
+             witness paths and guarded-publication inversions")
+    Term.(const run $ setup_logs $ bug_arg $ json)
+
 (* --- chain ------------------------------------------------------------ *)
 
 let chain_cmd =
@@ -247,6 +298,7 @@ let main =
       ~doc:"Root-cause diagnosis of kernel concurrency failures (EuroSys'23)"
   in
   Cmd.group info
-    [ list_cmd; diagnose_cmd; analyze_cmd; chain_cmd; fuzz_cmd; compare_cmd ]
+    [ list_cmd; diagnose_cmd; analyze_cmd; lint_cmd; chain_cmd; fuzz_cmd;
+      compare_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,41 @@
+(** Flip-feasibility pre-analysis for Causality Analysis.
+
+    Decides, on the failing trace and the flip plan alone, whether
+    re-executing a flipped race can possibly {e complete}.  The Benign
+    verdict of Causality Analysis covers every non-completing outcome,
+    so a flip that provably cannot complete is Benign without a VM run:
+
+    - {!Infeasible}: the plan cannot enforce the reversed order (it
+      replays the failing sequence, or spawn-prerequisite hoisting kept
+      the pair in program order); replaying reproduces the failure.
+    - {!Preserves_failure}: the plan is a lock-consistent permutation
+      and every reordered conflicting access pair is independent of the
+      failure's control/data slice — a dynamic backward slice from the
+      faulting event plus a forward taint walk over the reordered reads
+      prove the faulting instruction sees the same operands.
+    - {!Unknown}: no proof; the flip must execute. *)
+
+type verdict =
+  | Infeasible of string
+  | Preserves_failure of string
+  | Unknown of string
+
+val prunable : verdict -> string option
+(** The reason to record when the flip can be skipped; [None] for
+    {!Unknown}. *)
+
+val analyze :
+  trace:Ksim.Machine.event list ->
+  plan:Ksim.Access.Iid.t list ->
+  first:Ksim.Access.t ->
+  second:Ksim.Access.t ->
+  verdict
+(** [trace] is the failing sequence (faulting event last); [plan] is the
+    total order the flip would enforce; [first]/[second] are the racing
+    endpoints being reversed. *)
+
+val nesting_depth : Ksim.Machine.event list -> Ksim.Access.Iid.t -> int
+(** Critical-section nesting of an event: locks its thread holds when it
+    executes (its own acquisition counts). *)
+
+val pp : verdict Fmt.t

@@ -1,0 +1,318 @@
+(* Lockdep-style static lock-order analysis.
+
+   The kernel's lockdep builds a runtime graph of lock-acquisition
+   orders (held -> acquired) and reports a potential ABBA deadlock when
+   the graph has a cycle.  Here the same graph is built statically: the
+   PR-1 per-instruction locksets say which locks are held when a [Lock]
+   instruction executes, so every Lock site contributes one edge per
+   held lock.  Edges carry a witness (thread, label) and a [must] bit —
+   held on every path to the acquisition, or only on some path.
+
+   A cycle is a potential deadlock only if its contributing threads can
+   actually overlap; the MHP relation decides that, and cycles whose
+   witnesses all live in one top-level thread (or in threads serialized
+   by the prologue) are reported with [parallel = false].
+
+   Beyond ABBA cycles the pass detects {e guarded-publication
+   inversions} (the [ext_lock_order] pattern): a lock serializes a
+   publishing store to a NULL-initialized global against a consuming
+   load, but nothing orders {e which} critical section runs first — the
+   consumer can read the initial NULL and later dereference it without a
+   check.  The intended publication order and the unenforced schedule
+   order form a two-node cycle in the combined section-order graph,
+   which is how the finding is reported. *)
+
+module Names = Lockset.Names
+
+type edge = {
+  held : string;        (* the lock already held *)
+  acquired : string;    (* the lock being taken while [held] is held *)
+  via_thread : string;  (* witness thread (spec or entry name) *)
+  via_label : string;   (* witness label: the inner Lock instruction *)
+  must : bool;          (* held on every path to the acquisition *)
+}
+
+type cycle = {
+  cycle_locks : string list;  (* distinct locks in cycle order *)
+  cycle_edges : edge list;    (* one witness edge per hop *)
+  parallel : bool;            (* the witness threads can overlap (MHP) *)
+}
+
+type inversion = {
+  inv_lock : string;           (* the lock serializing both sections *)
+  inv_global : string;         (* the published NULL-initialized global *)
+  publisher : string * string; (* thread, label of the guarded store *)
+  consumer : string * string;  (* thread, label of the guarded load *)
+  use : string * string;       (* thread, label of the unchecked deref *)
+}
+
+type report = {
+  group_name : string;
+  thread_names : string list;
+  edges : edge list;
+  cycles : cycle list;
+  inversions : inversion list;
+}
+
+(* --- acquisition edges ------------------------------------------------- *)
+
+let labeled_instrs (p : Ksim.Program.t) =
+  List.init (Ksim.Program.length p) (Ksim.Program.get p)
+
+let edges_of_thread (th : Mhp.thread) : edge list =
+  let ls = Lockset.of_program th.program in
+  List.concat_map
+    (fun (l : Ksim.Program.labeled) ->
+      match l.instr with
+      | Ksim.Instr.Lock acquired -> (
+        match Lockset.find ls l.label with
+        | None -> []
+        | Some pt ->
+          (* [acquired] already in [must] means the site is unreachable
+             (vacuous universe lockset) or a self-deadlock the machine
+             would catch; either way it is not an ordering witness. *)
+          if Names.mem acquired pt.Lockset.must then []
+          else
+            Names.fold
+              (fun held acc ->
+                if String.equal held acquired then acc
+                else
+                  { held; acquired;
+                    via_thread = th.Mhp.thread_name;
+                    via_label = l.label;
+                    must = Names.mem held pt.Lockset.must }
+                  :: acc)
+              pt.Lockset.may [])
+      | _ -> [])
+    (labeled_instrs th.program)
+
+(* --- cycle enumeration -------------------------------------------------- *)
+
+(* Simple cycles by DFS; each cycle is enumerated from its
+   lexicographically smallest lock only, so every cyclic lock sequence
+   appears once.  Lock universes are tiny (kernel subsystems rarely nest
+   more than a handful), so the exponential worst case is irrelevant. *)
+let enumerate_cycles (edges : edge list) : edge list list =
+  let locks =
+    List.sort_uniq String.compare
+      (List.concat_map (fun e -> [ e.held; e.acquired ]) edges)
+  in
+  let out = ref [] in
+  let rec dfs start visiting path l =
+    List.iter
+      (fun e ->
+        if String.equal e.held l then
+          if String.equal e.acquired start then
+            out := List.rev (e :: path) :: !out
+          else if
+            String.compare e.acquired start > 0
+            && not (Names.mem e.acquired visiting)
+          then
+            dfs start (Names.add e.acquired visiting) (e :: path) e.acquired)
+      edges
+  in
+  List.iter (fun s -> dfs s (Names.singleton s) [] s) locks;
+  (* Several witness edges over the same lock pair yield duplicate lock
+     sequences: keep the first witness per sequence. *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun cyc ->
+      let key = String.concat ">" (List.map (fun e -> e.held) cyc) in
+      if Hashtbl.mem seen key then false
+      else (
+        Hashtbl.add seen key ();
+        true))
+    (List.rev !out)
+
+let cycle_of_edges mhp (cycle_edges : edge list) : cycle =
+  let threads = List.map (fun e -> e.via_thread) cycle_edges in
+  let rec pairs = function
+    | [] -> []
+    | t :: rest -> List.map (fun u -> (t, u)) rest @ pairs rest
+  in
+  let parallel =
+    List.for_all
+      (fun (a, b) -> Mhp.may_happen_in_parallel mhp a b)
+      (pairs threads)
+  in
+  { cycle_locks = List.map (fun e -> e.held) cycle_edges;
+    cycle_edges;
+    parallel }
+
+(* --- guarded-publication inversions ------------------------------------- *)
+
+let rec expr_mentions r : Ksim.Instr.expr -> bool = function
+  | Const _ -> false
+  | Reg r' -> String.equal r r'
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) | Ne (a, b)
+  | Lt (a, b) | Le (a, b) | Gt (a, b) | Ge (a, b) | And (a, b) | Or (a, b)
+    -> expr_mentions r a || expr_mentions r b
+  | Not a | Is_null a -> expr_mentions r a
+
+let addr_mentions r : Ksim.Instr.addr_expr -> bool = function
+  | Global _ -> false
+  | Deref (e, _) -> expr_mentions r e
+  | At (e, i) -> expr_mentions r e || expr_mentions r i
+
+(* The register an instruction (re)defines, if any. *)
+let defines : Ksim.Instr.t -> string option = function
+  | Load { dst; _ } | Assign { dst; _ } | Alloc { dst; _ }
+  | List_contains { dst; _ } | List_empty { dst; _ } | List_first { dst; _ }
+    -> Some dst
+  | Rmw { ret; _ } | Ref_put { ret; _ } -> ret
+  | Store _ | Branch_if _ | Goto _ | Return | Nop | Free _ | Lock _
+  | Unlock _ | Queue_work _ | Call_rcu _ | Arm_timer _ | Enable_irq _
+  | Bug_on _ | Warn_on _ | List_add _ | List_del _ | Ref_get _ -> None
+
+(* Does the instruction dereference register [r] as a base pointer?
+   [Free] is excluded: kfree(NULL) is a no-op, not a fault. *)
+let derefs r : Ksim.Instr.t -> bool = function
+  | Load { src = a; _ } | Store { dst = a; _ } | Rmw { loc = a; _ }
+  | List_add { list = a; _ } | List_del { list = a; _ }
+  | List_contains { list = a; _ } | List_empty { list = a; _ }
+  | List_first { list = a; _ } | Ref_get { loc = a } | Ref_put { loc = a; _ }
+    -> addr_mentions r a
+  | Assign _ | Branch_if _ | Goto _ | Return | Nop | Alloc _ | Free _
+  | Lock _ | Unlock _ | Queue_work _ | Call_rcu _ | Arm_timer _
+  | Enable_irq _ | Bug_on _ | Warn_on _ -> false
+
+(* From the guarded load of [r] at position [i], scan forward in program
+   order for a dereference of [r] that no intervening instruction
+   guards: a redefinition of [r] or a branch testing [r] (a NULL check)
+   ends the scan. *)
+let unchecked_deref_after (p : Ksim.Program.t) ~r ~from : string option =
+  let n = Ksim.Program.length p in
+  let rec go i =
+    if i >= n then None
+    else
+      let { Ksim.Program.label; instr; _ } = Ksim.Program.get p i in
+      if derefs r instr then Some label
+      else
+        match instr with
+        | Ksim.Instr.Branch_if { cond; _ } when expr_mentions r cond -> None
+        | Ksim.Instr.Return -> None
+        | _ when defines instr = Some r -> None
+        | _ -> go (i + 1)
+  in
+  go (from + 1)
+
+let inversions_of mhp (group : Ksim.Program.group) : inversion list =
+  let null_globals =
+    List.filter_map
+      (fun (n, v) -> if Ksim.Value.is_null v then Some n else None)
+      group.globals
+  in
+  if null_globals = [] then []
+  else
+    let threads = Mhp.threads mhp in
+    let with_locksets =
+      List.map (fun (th : Mhp.thread) -> (th, Lockset.of_program th.program))
+      threads
+    in
+    (* Guarded publishing stores: global := <non-constant> under a lock. *)
+    let publishers =
+      List.concat_map
+        (fun ((th : Mhp.thread), ls) ->
+          List.filter_map
+            (fun (l : Ksim.Program.labeled) ->
+              match l.instr with
+              | Ksim.Instr.Store { dst = Global gname; src }
+                when List.mem gname null_globals
+                     && (match src with Ksim.Instr.Const _ -> false
+                                      | _ -> true) -> (
+                match Lockset.find ls l.label with
+                | Some pt when not (Names.is_empty pt.Lockset.must) ->
+                  Some (th.Mhp.thread_name, l.label, gname, pt.Lockset.must)
+                | _ -> None)
+              | _ -> None)
+            (labeled_instrs th.program))
+        with_locksets
+    in
+    if publishers = [] then []
+    else
+      (* Guarded consuming loads followed by an unchecked dereference. *)
+      List.concat_map
+        (fun ((th : Mhp.thread), ls) ->
+          let instrs = labeled_instrs th.program in
+          List.concat
+            (List.mapi
+               (fun i (l : Ksim.Program.labeled) ->
+                 match l.instr with
+                 | Ksim.Instr.Load { dst = r; src = Global gname }
+                   when List.mem gname null_globals -> (
+                   match Lockset.find ls l.label with
+                   | Some pt when not (Names.is_empty pt.Lockset.must) -> (
+                     match
+                       unchecked_deref_after th.Mhp.program ~r ~from:i
+                     with
+                     | None -> []
+                     | Some use_label ->
+                       List.filter_map
+                         (fun (pt_thread, pt_label, pg, pmust) ->
+                           let common =
+                             Names.inter pmust pt.Lockset.must
+                           in
+                           if
+                             String.equal pg gname
+                             && (not (Names.is_empty common))
+                             && Mhp.may_happen_in_parallel mhp pt_thread
+                                  th.Mhp.thread_name
+                           then
+                             Some
+                               { inv_lock = Names.min_elt common;
+                                 inv_global = gname;
+                                 publisher = (pt_thread, pt_label);
+                                 consumer = (th.Mhp.thread_name, l.label);
+                                 use = (th.Mhp.thread_name, use_label) }
+                           else None)
+                         publishers)
+                   | _ -> [])
+                 | _ -> [])
+               instrs))
+        with_locksets
+
+(* --- entry point -------------------------------------------------------- *)
+
+let analyze ?serial (group : Ksim.Program.group) : report =
+  let mhp = Mhp.of_group ?serial group in
+  let threads = Mhp.threads mhp in
+  let edges = List.concat_map edges_of_thread threads in
+  let cycles = List.map (cycle_of_edges mhp) (enumerate_cycles edges) in
+  let inversions = inversions_of mhp group in
+  { group_name = group.group_name;
+    thread_names = List.map (fun (t : Mhp.thread) -> t.thread_name) threads;
+    edges;
+    cycles;
+    inversions }
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let pp_edge ppf e =
+  Fmt.pf ppf "%s -> %s (%s@%s, %s)" e.held e.acquired e.via_thread
+    e.via_label
+    (if e.must then "must" else "may")
+
+let pp_cycle ppf c =
+  Fmt.pf ppf "%s%s [%a]"
+    (String.concat " -> " (c.cycle_locks @ [ List.hd c.cycle_locks ]))
+    (if c.parallel then "" else " (threads serialized: not schedulable)")
+    (Fmt.list ~sep:Fmt.comma pp_edge)
+    c.cycle_edges
+
+let pp_inversion ppf (v : inversion) =
+  Fmt.pf ppf
+    "lock %s orders the sections on &%s but not their schedule: %s@%s \
+     publishes, %s@%s may consume the initial NULL and dereference it \
+     unchecked at %s (witness cycle: %s@%s -> %s@%s -> %s@%s)"
+    v.inv_lock v.inv_global (fst v.publisher) (snd v.publisher)
+    (fst v.consumer) (snd v.consumer) (snd v.use) (fst v.publisher)
+    (snd v.publisher) (fst v.consumer) (snd v.consumer) (fst v.publisher)
+    (snd v.publisher)
+
+let pp ppf (r : report) =
+  Fmt.pf ppf "%s: %d acquisition edge(s), %d cycle(s), %d inversion(s)"
+    r.group_name (List.length r.edges) (List.length r.cycles)
+    (List.length r.inversions);
+  List.iter (fun c -> Fmt.pf ppf "@.  cycle: %a" pp_cycle c) r.cycles;
+  List.iter (fun v -> Fmt.pf ppf "@.  inversion: %a" pp_inversion v)
+    r.inversions

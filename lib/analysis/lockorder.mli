@@ -1,0 +1,46 @@
+(** Lockdep-style static lock-order analysis: a cross-thread
+    lock-acquisition-order graph built from the per-instruction
+    locksets, its cycles (potential ABBA deadlocks / lock-order
+    inversions) with witness paths, and guarded-publication inversions
+    (a lock that serializes a publishing store against a consuming load
+    without ordering which section runs first). *)
+
+type edge = {
+  held : string;        (** the lock already held *)
+  acquired : string;    (** the lock being taken while [held] is held *)
+  via_thread : string;  (** witness thread (spec or entry name) *)
+  via_label : string;   (** witness label: the inner [Lock] instruction *)
+  must : bool;          (** [held] held on every path to the acquisition *)
+}
+
+type cycle = {
+  cycle_locks : string list;  (** distinct locks in cycle order *)
+  cycle_edges : edge list;    (** one witness edge per hop *)
+  parallel : bool;            (** the witness threads can overlap (MHP) *)
+}
+
+type inversion = {
+  inv_lock : string;            (** the lock serializing both sections *)
+  inv_global : string;          (** the published NULL-initialized global *)
+  publisher : string * string;  (** thread, label of the guarded store *)
+  consumer : string * string;   (** thread, label of the guarded load *)
+  use : string * string;        (** thread, label of the unchecked deref *)
+}
+
+type report = {
+  group_name : string;
+  thread_names : string list;
+  edges : edge list;
+  cycles : cycle list;
+  inversions : inversion list;
+}
+
+val analyze : ?serial:string list -> Ksim.Program.group -> report
+(** [serial] names prologue threads forced to run before the concurrent
+    phase (they never overlap anything, so they contribute no
+    schedulable cycles or inversions). *)
+
+val pp_edge : edge Fmt.t
+val pp_cycle : cycle Fmt.t
+val pp_inversion : inversion Fmt.t
+val pp : report Fmt.t

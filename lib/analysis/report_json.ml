@@ -27,6 +27,12 @@ let obj fields =
 
 let str_list ss = arr (List.map str ss)
 
+let bool b = if b then "true" else "false"
+
+let int = string_of_int
+
+let float f = Printf.sprintf "%.4f" f
+
 let kind_json k = str (Fmt.to_to_string Ksim.Instr.pp_access_kind k)
 
 let site_json (s : Candidates.site) =
@@ -74,3 +80,43 @@ let to_string (r : Candidates.result) =
       ("pairs", arr (List.map pair_json r.pairs)) ]
 
 let pp ppf r = Fmt.string ppf (to_string r)
+
+(* --- lock-order lint ---------------------------------------------------- *)
+
+let edge_json (e : Lockorder.edge) =
+  obj
+    [ ("held", str e.held);
+      ("acquired", str e.acquired);
+      ("thread", str e.via_thread);
+      ("label", str e.via_label);
+      ("must", bool e.must) ]
+
+let cycle_json (c : Lockorder.cycle) =
+  obj
+    [ ("locks", str_list c.cycle_locks);
+      ("witness", arr (List.map edge_json c.cycle_edges));
+      ("parallel", bool c.parallel) ]
+
+let site_ref (thread, label) =
+  obj [ ("thread", str thread); ("label", str label) ]
+
+let inversion_json (v : Lockorder.inversion) =
+  obj
+    [ ("lock", str v.inv_lock);
+      ("global", str v.inv_global);
+      ("publisher", site_ref v.publisher);
+      ("consumer", site_ref v.consumer);
+      ("unchecked_use", site_ref v.use);
+      (* The two-node witness cycle in the section-order graph: the
+         publication dependence edge vs the unenforced schedule edge. *)
+      ("witness_cycle", arr [ site_ref v.publisher; site_ref v.consumer ]) ]
+
+let lint_to_string (r : Lockorder.report) =
+  obj
+    [ ("group", str r.group_name);
+      ("threads", str_list r.thread_names);
+      ("edges", arr (List.map edge_json r.edges));
+      ("cycles", arr (List.map cycle_json r.cycles));
+      ("inversions", arr (List.map inversion_json r.inversions)) ]
+
+let pp_lint ppf r = Fmt.string ppf (lint_to_string r)

@@ -33,6 +33,30 @@ let pp_stats ppf s =
     s.n_threads s.n_sites s.n_pairs s.n_guarded s.n_unguarded s.n_ambiguous
     s.pruning_ratio
 
+(* --- lock-order lint headline ------------------------------------------ *)
+
+type lint_stats = {
+  n_lock_edges : int;
+  n_cycles : int;
+  n_parallel_cycles : int;  (* cycles whose witness threads can overlap *)
+  n_inversions : int;
+}
+
+let lint_stats (r : Lockorder.report) : lint_stats =
+  { n_lock_edges = List.length r.edges;
+    n_cycles = List.length r.cycles;
+    n_parallel_cycles =
+      List.length
+        (List.filter (fun (c : Lockorder.cycle) -> c.parallel) r.cycles);
+    n_inversions = List.length r.inversions }
+
+let clean l = l.n_cycles = 0 && l.n_inversions = 0
+
+let pp_lint_stats ppf l =
+  Fmt.pf ppf
+    "%d acquisition edge(s), %d cycle(s) (%d schedulable), %d inversion(s)"
+    l.n_lock_edges l.n_cycles l.n_parallel_cycles l.n_inversions
+
 (* Classification lookup keyed by the canonically ordered pair of
    (thread, label) site identities. *)
 type hints = (string, Candidates.pair) Hashtbl.t

@@ -16,6 +16,21 @@ type stats = {
 val stats : Candidates.result -> stats
 val pp_stats : stats Fmt.t
 
+type lint_stats = {
+  n_lock_edges : int;
+  n_cycles : int;
+  n_parallel_cycles : int;
+      (** cycles whose witness threads can actually overlap (MHP) *)
+  n_inversions : int;
+}
+
+val lint_stats : Lockorder.report -> lint_stats
+
+val clean : lint_stats -> bool
+(** No cycles and no inversions: the lint found nothing. *)
+
+val pp_lint_stats : lint_stats Fmt.t
+
 type hints
 (** Constant-time classification of a site pair, keyed by the stable
     (thread name, instruction label) identity {!Ksim.Kcov.site} uses —

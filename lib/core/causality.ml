@@ -27,18 +27,24 @@ type verdict = Root_cause | Benign
 type tested = {
   race : Race.t;
   verdict : verdict;
-  flip_outcome : Controller.outcome;
+  (* [None] when the flip was statically pruned: no re-run exists. *)
+  flip_outcome : Controller.outcome option;
+  (* The static proof that skipped the re-run (flip-feasibility
+     pre-analysis); [None] for flips that executed. *)
+  pruned : string option;
   (* test-set races absent from the (surviving) flipped run. *)
   disappeared : Race.t list;
   ambiguous : bool;
   (* Did the flipped order actually execute?  A vacuous flip (an
      endpoint erased by a race-steered control flow before it could run)
-     is the anomaly backward testing minimizes. *)
+     is the anomaly backward testing minimizes.  False for statically
+     pruned flips, which never run. *)
   enforced : bool;
 }
 
 type stats = {
   schedules : int;
+  flips_statically_pruned : int;
   elapsed : float;
   simulated : float;
 }
@@ -228,40 +234,65 @@ let survived (o : Controller.outcome) =
   | Controller.Completed -> true
   | Controller.Failed _ | Controller.Deadlock | Controller.Step_limit -> false
 
-let analyze ?max_steps ?(prologue = []) ?direction (vm : Hypervisor.Vm.t)
-    ~(failing : Controller.outcome) ~(races : Race.t list) () : result =
+let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
+    (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
+    ~(races : Race.t list) () : result =
   let t0 = Unix.gettimeofday () in
   let runs_before = Hypervisor.Vm.runs vm in
   let ordered = test_order ?direction races in
   let tested =
     List.map
-      (fun r ->
+      (fun (r : Race.t) ->
         let plan = flip_plan failing.trace r in
-        let run = Executor.run_plan ?max_steps ~prologue vm plan in
-        let ok = survived run.outcome in
-        let disappeared =
-          if not ok then []
+        (* Flip-feasibility pre-analysis (static hints): a flip whose
+           re-run provably cannot complete is Benign without execution
+           — the Benign verdict covers every non-completing outcome. *)
+        let pruned =
+          if not static_hints then None
           else
-            List.filter
-              (fun r' ->
-                (not (Race.equal r r'))
-                && not (Race.occurred_in run.outcome.trace r'))
-              races
+            Analysis.Flipfeas.prunable
+              (Analysis.Flipfeas.analyze ~trace:failing.trace
+                 ~plan:plan.Schedule.events ~first:r.first ~second:r.second)
         in
-        let enforced =
-          Race.occurred_in run.outcome.trace
-            { Race.first = r.second; second = r.first }
-        in
-        Log.debug (fun m ->
-            m "flip %a -> %s%s" Race.pp_short r
-              (if ok then "no failure (root cause)" else "still fails (benign)")
-              (if enforced then "" else " [vacuous]"));
-        { race = r;
-          verdict = (if ok then Root_cause else Benign);
-          flip_outcome = run.outcome;
-          disappeared;
-          ambiguous = false;
-          enforced })
+        match pruned with
+        | Some reason ->
+          Log.debug (fun m ->
+              m "flip %a -> statically pruned (%s)" Race.pp_short r reason);
+          { race = r;
+            verdict = Benign;
+            flip_outcome = None;
+            pruned;
+            disappeared = [];
+            ambiguous = false;
+            enforced = false }
+        | None ->
+          let run = Executor.run_plan ?max_steps ~prologue vm plan in
+          let ok = survived run.outcome in
+          let disappeared =
+            if not ok then []
+            else
+              List.filter
+                (fun r' ->
+                  (not (Race.equal r r'))
+                  && not (Race.occurred_in run.outcome.trace r'))
+                races
+          in
+          let enforced =
+            Race.occurred_in run.outcome.trace
+              { Race.first = r.second; second = r.first }
+          in
+          Log.debug (fun m ->
+              m "flip %a -> %s%s" Race.pp_short r
+                (if ok then "no failure (root cause)"
+                 else "still fails (benign)")
+                (if enforced then "" else " [vacuous]"));
+          { race = r;
+            verdict = (if ok then Root_cause else Benign);
+            flip_outcome = Some run.outcome;
+            pruned = None;
+            disappeared;
+            ambiguous = false;
+            enforced })
       ordered
   in
   let root_tested =
@@ -321,5 +352,8 @@ let analyze ?max_steps ?(prologue = []) ?direction (vm : Hypervisor.Vm.t)
     ambiguous;
     stats =
       { schedules = Hypervisor.Vm.runs vm - runs_before;
+        flips_statically_pruned =
+          List.length
+            (List.filter (fun (t : tested) -> t.pruned <> None) tested);
         elapsed = Unix.gettimeofday () -. t0;
         simulated = Hypervisor.Vm.simulated_seconds vm } }

@@ -13,16 +13,23 @@ type verdict = Root_cause | Benign
 type tested = {
   race : Race.t;
   verdict : verdict;
-  flip_outcome : Hypervisor.Controller.outcome;
+  flip_outcome : Hypervisor.Controller.outcome option;
+      (** [None] when the flip was statically pruned (never executed) *)
+  pruned : string option;
+      (** the flip-feasibility proof that skipped the re-run, if any *)
   disappeared : Race.t list;
       (** test-set races absent from the surviving flipped run *)
   ambiguous : bool;
   enforced : bool;
-      (** did the flipped order actually execute? (ablation metric) *)
+      (** did the flipped order actually execute? (ablation metric;
+          false for statically pruned flips) *)
 }
 
 type stats = {
   schedules : int;
+  flips_statically_pruned : int;
+      (** flips proven Benign by the static pre-analysis, skipped
+          before any VM execution *)
   elapsed : float;
   simulated : float;
 }
@@ -61,8 +68,14 @@ val analyze :
   ?max_steps:int ->
   ?prologue:int list ->
   ?direction:[ `Backward | `Forward ] ->
+  ?static_hints:bool ->
   Hypervisor.Vm.t ->
   failing:Hypervisor.Controller.outcome ->
   races:Race.t list ->
   unit ->
   result
+(** [static_hints] (default false) enables the flip-feasibility
+    pre-analysis: flips statically proven infeasible or
+    outcome-preserving are marked Benign without a VM run and counted in
+    [stats.flips_statically_pruned].  With the default the behaviour is
+    bit-identical to the plain analysis. *)

@@ -123,7 +123,7 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
         | Some success ->
           let ca_vm = Hypervisor.Vm.create group in
           let ca =
-            Causality.analyze ?max_steps ~prologue ca_vm
+            Causality.analyze ?max_steps ~prologue ~static_hints ca_vm
               ~failing:success.outcome ~races:success.races ()
           in
           let chain = Chain.of_causality ca ~failure:success.failure in

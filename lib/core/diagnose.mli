@@ -53,5 +53,7 @@ val diagnose :
     [static_hints] (default [false]) runs {!Analysis.Candidates.analyze}
     on each realized slice and feeds the result to {!Lifs.search} so the
     frontier is visited Unguarded-first and statically Guarded candidate
-    preemptions are skipped; disabled, the pipeline is identical to the
-    hint-free behaviour. *)
+    preemptions are skipped, and enables the {!Analysis.Flipfeas}
+    pre-analysis in {!Causality.analyze} so provably infeasible or
+    outcome-preserving flips are skipped before any VM execution;
+    disabled, the pipeline is identical to the hint-free behaviour. *)

@@ -11,8 +11,12 @@ let pp_lifs_stats ppf (s : Lifs.stats) =
     s.static_pruned s.interleavings s.simulated
 
 let pp_ca_stats ppf (s : Causality.stats) =
-  Fmt.pf ppf "Causality Analysis: %d schedule(s), %.1f simulated s"
-    s.schedules s.simulated
+  Fmt.pf ppf "Causality Analysis: %d schedule(s)%s, %.1f simulated s"
+    s.schedules
+    (if s.flips_statically_pruned > 0 then
+       Fmt.str " (+%d flip(s) statically pruned)" s.flips_statically_pruned
+     else "")
+    s.simulated
 
 (* Look up the source location of a racing instruction in the case's
    programs. *)

@@ -332,6 +332,210 @@ let test_lifs_static_prune () =
   checkb "hinted explores no more schedules" true
     (hinted.stats.schedules <= plain.stats.schedules)
 
+(* --- lock-order lint ----------------------------------------------------- *)
+
+(* Serial prologue thread names of a case, as the CLI computes them. *)
+let serial_names (case : Aitia.Diagnose.case) =
+  List.concat_map
+    (fun (s : Trace.Slicer.t) ->
+      List.map (fun (e : Trace.History.episode) -> e.thread) s.setup)
+    (Trace.Slicer.slices case.history)
+  |> List.sort_uniq String.compare
+
+let lint_of (bug : Bugs.Bug.t) =
+  let case = bug.case () in
+  Analysis.Lockorder.analyze ~serial:(serial_names case) case.group
+
+let test_lockorder_abba () =
+  let group =
+    Ksim.Program.group ~name:"abba" ~locks:[ "a"; "b" ]
+      [ spec "A"
+          ~instrs:
+            [ lock "A1" "a"; lock "A2" "b"; unlock "A3" "b";
+              unlock "A4" "a" ]
+          ();
+        spec "B"
+          ~instrs:
+            [ lock "B1" "b"; lock "B2" "a"; unlock "B3" "a";
+              unlock "B4" "b" ]
+          () ]
+  in
+  let r = Analysis.Lockorder.analyze group in
+  checki "two acquisition edges" 2 (List.length r.edges);
+  (match r.cycles with
+  | [ c ] ->
+    Alcotest.(check (slist string compare))
+      "cycle locks" [ "a"; "b" ] c.cycle_locks;
+    checkb "witness edge per hop" true (List.length c.cycle_edges = 2);
+    checkb "both hops must-held" true
+      (List.for_all (fun (e : Analysis.Lockorder.edge) -> e.must)
+         c.cycle_edges);
+    checkb "schedulable (threads overlap)" true c.parallel
+  | cs -> Alcotest.failf "expected one cycle, got %d" (List.length cs));
+  checki "no inversions" 0 (List.length r.inversions)
+
+let test_lockorder_consistent () =
+  (* Both threads take a before b: edges exist, but no cycle. *)
+  let group =
+    Ksim.Program.group ~name:"consistent" ~locks:[ "a"; "b" ]
+      [ spec "A"
+          ~instrs:
+            [ lock "A1" "a"; lock "A2" "b"; unlock "A3" "b";
+              unlock "A4" "a" ]
+          ();
+        spec "B"
+          ~instrs:
+            [ lock "B1" "a"; lock "B2" "b"; unlock "B3" "b";
+              unlock "B4" "a" ]
+          () ]
+  in
+  let r = Analysis.Lockorder.analyze group in
+  checkb "edges recorded" true (r.edges <> []);
+  checkb "consistent order has no cycle" true (r.cycles = []);
+  checkb "edges all a->b" true
+    (List.for_all
+       (fun (e : Analysis.Lockorder.edge) ->
+         e.held = "a" && e.acquired = "b")
+       r.edges)
+
+let test_lockorder_serial_not_parallel () =
+  (* The same ABBA pattern with one side serialized: the cycle is still
+     in the graph but not schedulable. *)
+  let group =
+    Ksim.Program.group ~name:"abba-serial" ~locks:[ "a"; "b" ]
+      [ spec "A"
+          ~instrs:
+            [ lock "A1" "a"; lock "A2" "b"; unlock "A3" "b";
+              unlock "A4" "a" ]
+          ();
+        spec "B"
+          ~instrs:
+            [ lock "B1" "b"; lock "B2" "a"; unlock "B3" "a";
+              unlock "B4" "b" ]
+          () ]
+  in
+  let r = Analysis.Lockorder.analyze ~serial:[ "B" ] group in
+  match r.cycles with
+  | [ c ] -> checkb "cycle not schedulable" false c.parallel
+  | cs -> Alcotest.failf "expected one cycle, got %d" (List.length cs)
+
+let test_lint_fig1_clean () =
+  let r = lint_of Bugs.Fig1_nullderef.bug in
+  let ls = Analysis.Summary.lint_stats r in
+  checkb "fig1 is clean" true (Analysis.Summary.clean ls);
+  checki "no false cycles" 0 ls.n_cycles;
+  checki "no false inversions" 0 ls.n_inversions
+
+let test_lint_ext_lock_flagged () =
+  let r = lint_of Bugs.Ext_lock_order.bug in
+  let ls = Analysis.Summary.lint_stats r in
+  checkb "ext-lock is flagged" false (Analysis.Summary.clean ls);
+  match r.inversions with
+  | [ v ] ->
+    Alcotest.(check string) "serializing lock" "dev_lock" v.inv_lock;
+    checkb "publisher and consumer differ" true
+      (fst v.publisher <> fst v.consumer)
+  | vs -> Alcotest.failf "expected one inversion, got %d" (List.length vs)
+
+let test_lint_json_shape () =
+  let s = Analysis.Report_json.lint_to_string (lint_of Bugs.Ext_lock_order.bug) in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i =
+      i + nl <= sl && (String.sub s i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      checkb (Fmt.str "lint json contains %s" needle) true (contains needle))
+    [ "\"cycles\":[]"; "\"inversions\":["; "\"lock\":\"dev_lock\"";
+      "\"witness_cycle\":[" ]
+
+(* --- flip feasibility ----------------------------------------------------- *)
+
+let test_flipfeas_prunable () =
+  let open Analysis.Flipfeas in
+  Alcotest.(check (option string))
+    "infeasible prunes" (Some "infeasible: x")
+    (prunable (Infeasible "x"));
+  Alcotest.(check (option string))
+    "preserves-failure prunes"
+    (Some "preserves failure: y")
+    (prunable (Preserves_failure "y"));
+  Alcotest.(check (option string)) "unknown executes" None
+    (prunable (Unknown "z"))
+
+let test_flipfeas_identity_plan () =
+  (* A plan that replays the failing order verbatim cannot enforce the
+     reversed order: Infeasible.  The genuinely reordered plan for the
+     same race touches the faulting slice: Unknown (must execute). *)
+  let group =
+    two_threads ~locks:[]
+      [ store "a1" (g "x") (cint 1) ]
+      [ load "b1" "v" (g "x") ]
+  in
+  let plan0 =
+    Hypervisor.Schedule.plan
+      [ Iid.make ~tid:0 ~label:"a1" ~occ:1;
+        Iid.make ~tid:1 ~label:"b1" ~occ:1 ]
+  in
+  let o =
+    Hypervisor.Controller.run
+      (Ksim.Machine.create group)
+      (Hypervisor.Schedule.plan_policy plan0)
+  in
+  let r =
+    List.find
+      (fun (r : Aitia.Race.t) -> r.first.iid.Iid.label = "a1")
+      (Aitia.Race.of_trace o.trace)
+  in
+  let feas plan =
+    Analysis.Flipfeas.analyze ~trace:o.trace ~plan ~first:r.first
+      ~second:r.second
+  in
+  checkb "identity plan is infeasible" true
+    (match
+       feas (List.map (fun (e : Ksim.Machine.event) -> e.iid) o.trace)
+     with
+    | Analysis.Flipfeas.Infeasible _ -> true
+    | _ -> false);
+  let flipped = Aitia.Causality.flip_plan o.trace r in
+  checkb "reordering the sliced pair stays unknown" true
+    (match feas flipped.Hypervisor.Schedule.events with
+    | Analysis.Flipfeas.Unknown _ -> true
+    | _ -> false)
+
+let test_flipfeas_nesting_depth () =
+  let group =
+    two_threads ~locks:[ "o"; "m" ]
+      [ lock "A1" "o"; lock "A2" "m"; store "A3" (g "x") (cint 1);
+        unlock "A4" "m"; unlock "A5" "o" ]
+      [ load "B1" "v" (g "x") ]
+  in
+  let plan0 =
+    Hypervisor.Schedule.plan
+      (List.map
+         (fun (tid, label) -> Iid.make ~tid ~label ~occ:1)
+         [ (0, "A1"); (0, "A2"); (0, "A3"); (0, "A4"); (0, "A5");
+           (1, "B1") ])
+  in
+  let o =
+    Hypervisor.Controller.run
+      (Ksim.Machine.create group)
+      (Hypervisor.Schedule.plan_policy plan0)
+  in
+  let depth label =
+    Analysis.Flipfeas.nesting_depth o.trace
+      (Iid.make ~tid:0 ~label ~occ:1)
+  in
+  checki "store under two locks" 2 (depth "A3");
+  checki "outer acquisition counts itself" 1 (depth "A1");
+  checki "inner acquisition" 2 (depth "A2");
+  checki "after both releases" 0
+    (Analysis.Flipfeas.nesting_depth o.trace
+       (Iid.make ~tid:1 ~label:"B1" ~occ:1))
+
 (* --- corpus soundness ---------------------------------------------------- *)
 
 (* One diagnosis pass per bug, plain and hinted, shared by the corpus
@@ -399,6 +603,52 @@ let test_hinted_parity (plain : Aitia.Diagnose.report)
   checkb "hinted reproduces" (Aitia.Diagnose.reproduced plain)
     (Aitia.Diagnose.reproduced hinted)
 
+(* Chain parity: statically pruned flips are Benign by proof, so the
+   hinted pipeline must build exactly the causality chain the plain one
+   builds. *)
+let chain_str (r : Aitia.Diagnose.report) =
+  match r.chain with Some c -> Aitia.Chain.to_string c | None -> "-"
+
+let test_chain_parity (bug : Bugs.Bug.t) (plain : Aitia.Diagnose.report)
+    (hinted : Aitia.Diagnose.report) () =
+  Alcotest.(check string)
+    (bug.id ^ " chain identical under static hints")
+    (chain_str plain) (chain_str hinted)
+
+(* Bookkeeping of the flip-feasibility pruning: the stat equals the
+   number of pruned entries, a pruned flip never ran (no outcome, not
+   enforced, Benign), and the plain pipeline never prunes. *)
+let test_pruning_consistency (bug : Bugs.Bug.t)
+    (plain : Aitia.Diagnose.report) (hinted : Aitia.Diagnose.report) () =
+  (match plain.causality with
+  | None -> ()
+  | Some ca ->
+    checki (bug.id ^ " plain never prunes") 0
+      ca.stats.flips_statically_pruned;
+    checkb (bug.id ^ " plain entries all executed") true
+      (List.for_all
+         (fun (t : Aitia.Causality.tested) ->
+           t.pruned = None && t.flip_outcome <> None)
+         ca.tested));
+  match hinted.causality with
+  | None -> ()
+  | Some ca ->
+    let pruned =
+      List.filter
+        (fun (t : Aitia.Causality.tested) -> t.pruned <> None)
+        ca.tested
+    in
+    checki (bug.id ^ " stat counts pruned entries")
+      (List.length pruned) ca.stats.flips_statically_pruned;
+    List.iter
+      (fun (t : Aitia.Causality.tested) ->
+        checkb (bug.id ^ " pruned flip never ran") true
+          (t.flip_outcome = None);
+        checkb (bug.id ^ " pruned flip not enforced") false t.enforced;
+        checkb (bug.id ^ " pruned flip is Benign") true
+          (t.verdict = Aitia.Causality.Benign))
+      pruned
+
 (* In aggregate the hints must pay for themselves: on the 22 real-world
    bugs, at least half reproduce with strictly fewer schedules. *)
 let test_hinted_aggregate () =
@@ -424,6 +674,41 @@ let test_hinted_aggregate () =
     true
     (2 * improved >= List.length real)
 
+(* And the flip-feasibility pruning must pay for itself too: on the 22
+   real-world bugs, at least 10 execute strictly fewer flips than the
+   plain Causality Analysis runs. *)
+let test_pruning_aggregate () =
+  let real =
+    List.filter
+      (fun ((bug : Bugs.Bug.t), _, _, _) ->
+        match bug.source with
+        | Bugs.Bug.Cve _ | Bugs.Bug.Syzkaller _ -> true
+        | Bugs.Bug.Figure _ | Bugs.Bug.Extension _ -> false)
+      (Lazy.force corpus)
+  in
+  let flips (ca : Aitia.Causality.result option) =
+    match ca with
+    | None -> 0
+    | Some ca ->
+      List.length
+        (List.filter
+           (fun (t : Aitia.Causality.tested) -> t.pruned = None)
+           ca.tested)
+  in
+  let improved =
+    List.length
+      (List.filter
+         (fun (_, _, (p : Aitia.Diagnose.report),
+               (h : Aitia.Diagnose.report)) ->
+           p.causality <> None && h.causality <> None
+           && flips h.causality < flips p.causality)
+         real)
+  in
+  checkb
+    (Fmt.str "%d of %d bugs execute strictly fewer flips" improved
+       (List.length real))
+    true (improved >= 10)
+
 let corpus_cases () =
   List.concat_map
     (fun (bug, case, plain, hinted) ->
@@ -432,7 +717,13 @@ let corpus_cases () =
           (test_soundness bug case plain);
         Alcotest.test_case
           (bug.Bugs.Bug.id ^ " hinted parity") `Quick
-          (test_hinted_parity plain hinted) ])
+          (test_hinted_parity plain hinted);
+        Alcotest.test_case
+          (bug.Bugs.Bug.id ^ " chain parity") `Quick
+          (test_chain_parity bug plain hinted);
+        Alcotest.test_case
+          (bug.Bugs.Bug.id ^ " pruning consistency") `Quick
+          (test_pruning_consistency bug plain hinted) ])
     (Lazy.force corpus)
 
 let () =
@@ -464,7 +755,27 @@ let () =
       ( "lifs",
         [ Alcotest.test_case "static pruning" `Quick
             test_lifs_static_prune ] );
+      ( "lockorder",
+        [ Alcotest.test_case "ABBA cycle" `Quick test_lockorder_abba;
+          Alcotest.test_case "consistent order" `Quick
+            test_lockorder_consistent;
+          Alcotest.test_case "serial not schedulable" `Quick
+            test_lockorder_serial_not_parallel;
+          Alcotest.test_case "fig1 clean" `Quick test_lint_fig1_clean;
+          Alcotest.test_case "ext-lock flagged" `Quick
+            test_lint_ext_lock_flagged;
+          Alcotest.test_case "lint json shape" `Quick
+            test_lint_json_shape ] );
+      ( "flipfeas",
+        [ Alcotest.test_case "prunable mapping" `Quick
+            test_flipfeas_prunable;
+          Alcotest.test_case "identity plan" `Quick
+            test_flipfeas_identity_plan;
+          Alcotest.test_case "nesting depth" `Quick
+            test_flipfeas_nesting_depth ] );
       ("corpus", corpus_cases ());
       ( "aggregate",
         [ Alcotest.test_case "hints pay off on half the corpus" `Quick
-            test_hinted_aggregate ] ) ]
+            test_hinted_aggregate;
+          Alcotest.test_case "pruning pays off on 10+ bugs" `Quick
+            test_pruning_aggregate ] ) ]

@@ -189,6 +189,123 @@ let test_flip_critical_section_as_unit () =
     Alcotest.(check string) "the CS-order race" "B2"
       r.first.iid.Iid.label
 
+(* Shared scaffolding for the flip-plan edge cases below: run a fixed
+   plan, find the race whose first endpoint is [first_label], flip it,
+   and re-run the flipped plan. *)
+let flip_and_rerun grp plan0 ~first_label =
+  let o =
+    Hypervisor.Controller.run (Ksim.Machine.create grp)
+      (Hypervisor.Schedule.plan_policy plan0)
+  in
+  let r =
+    List.find
+      (fun (r : Aitia.Race.t) -> r.first.iid.Iid.label = first_label)
+      (Aitia.Race.of_trace o.trace)
+  in
+  let flipped = Aitia.Causality.flip_plan o.trace r in
+  Hypervisor.Controller.run (Ksim.Machine.create grp)
+    (Hypervisor.Schedule.plan_policy flipped)
+
+let pos_in (o : Hypervisor.Controller.outcome) label =
+  let rec go i = function
+    | [] -> -1
+    | (e : Ksim.Machine.event) :: rest ->
+      if String.equal e.iid.Iid.label label then i else go (i + 1) rest
+  in
+  go 0 o.trace
+
+let spec name instrs =
+  { Ksim.Program.spec_name = name;
+    context = Ksim.Program.Syscall { call = name; sysno = 0 };
+    program = Ksim.Program.make ~name instrs;
+    resources = [] }
+
+let plan_of labels =
+  Hypervisor.Schedule.plan
+    (List.map (fun (tid, label) -> Iid.make ~tid ~label ~occ:1) labels)
+
+let test_flip_nested_sections () =
+  (* Both endpoints sit under the same two nested locks: the flip must
+     displace the consumer's outermost section as one unit, keeping the
+     lock order inside it, and the re-run must not deadlock. *)
+  let open Ksim.Program.Build in
+  let grp =
+    Ksim.Program.group ~name:"nested-flip" ~locks:[ "o"; "m" ]
+      ~globals:[ ("x", Ksim.Value.Int 0) ]
+      [ spec "A"
+          [ lock "ao" "o"; lock "am" "m"; store "a1" (g "x") (cint 1);
+            unlock "um" "m"; unlock "uo" "o" ];
+        spec "B"
+          [ lock "bo" "o"; lock "bm" "m"; load "b1" "v" (g "x");
+            unlock "vm" "m"; unlock "vo" "o" ] ]
+  in
+  let plan0 =
+    plan_of
+      [ (0, "ao"); (0, "am"); (0, "a1"); (0, "um"); (0, "uo");
+        (1, "bo"); (1, "bm"); (1, "b1"); (1, "vm"); (1, "vo") ]
+  in
+  let o = flip_and_rerun grp plan0 ~first_label:"a1" in
+  checkb "completes (no deadlock)" true
+    (o.verdict = Hypervisor.Controller.Completed);
+  let p = pos_in o in
+  checkb "b1 before a1" true (p "b1" < p "a1");
+  checkb "B's outer lock moved with it" true (p "bo" < p "bm");
+  checkb "whole nested unit precedes A's sections" true (p "vo" < p "ao")
+
+let test_flip_unit_spans_whole_section () =
+  (* The race is in the middle of A's critical section; flipping it must
+     displace B's whole section before A's section *start*, not merely
+     before the racing store. *)
+  let open Ksim.Program.Build in
+  let grp =
+    Ksim.Program.group ~name:"span-flip" ~locks:[ "m" ]
+      ~globals:[ ("x", Ksim.Value.Int 0); ("y", Ksim.Value.Int 0) ]
+      [ spec "A"
+          [ lock "la" "m"; store "a1" (g "x") (cint 1);
+            store "a2" (g "y") (cint 1); unlock "ua" "m" ];
+        spec "B"
+          [ lock "lb" "m"; load "b1" "v" (g "y"); unlock "ub" "m" ] ]
+  in
+  let plan0 =
+    plan_of
+      [ (0, "la"); (0, "a1"); (0, "a2"); (0, "ua");
+        (1, "lb"); (1, "b1"); (1, "ub") ]
+  in
+  let o = flip_and_rerun grp plan0 ~first_label:"a2" in
+  checkb "completes (no deadlock)" true
+    (o.verdict = Hypervisor.Controller.Completed);
+  let p = pos_in o in
+  checkb "b1 before the racing store a2" true (p "b1" < p "a2");
+  checkb "b1 before the whole section (a1 too)" true (p "b1" < p "a1");
+  checkb "B releases before A acquires" true (p "ub" < p "la")
+
+let test_ambiguity_both_root_causes () =
+  (* §3.4 / Figure 7: when a surrounding race and the race nested inside
+     it are both root causes, the surrounding one is reported ambiguous
+     (its flip necessarily also flipped the nested order) and the nested
+     one stays certain. *)
+  let _, ca = causality_of Bugs.Fig7_nested.bug in
+  let amb =
+    match ca.ambiguous with
+    | [ r ] -> r
+    | l -> Alcotest.failf "expected one ambiguous race, got %d"
+             (List.length l)
+  in
+  checkb "the ambiguous (surrounding) race is a root cause" true
+    (List.exists (Aitia.Race.equal amb) ca.root_causes);
+  let nested =
+    List.filter
+      (fun r ->
+        (not (Aitia.Race.equal amb r)) && Aitia.Race.surrounds amb r)
+      ca.root_causes
+  in
+  checkb "the nested race is also a root cause" true (nested <> []);
+  List.iter
+    (fun r ->
+      checkb "the nested race itself is not ambiguous" false
+        (List.exists (Aitia.Race.equal r) ca.ambiguous))
+    nested
+
 let test_irq_chain_crosses_boundary () =
   let report = diagnose Bugs.Ext_irq_nic.bug in
   match report.chain with
@@ -388,6 +505,12 @@ let () =
           Alcotest.test_case "flip plan" `Quick test_flip_plan_moves_block;
           Alcotest.test_case "critical-section unit" `Quick
             test_flip_critical_section_as_unit;
+          Alcotest.test_case "nested sections flip" `Quick
+            test_flip_nested_sections;
+          Alcotest.test_case "flip unit spans section" `Quick
+            test_flip_unit_spans_whole_section;
+          Alcotest.test_case "nested+surrounding ambiguity" `Quick
+            test_ambiguity_both_root_causes;
           Alcotest.test_case "irq boundary" `Quick
             test_irq_chain_crosses_boundary ] );
       ( "chain",

@@ -456,15 +456,19 @@ let prop_ca_verdicts_are_witnessed =
         in
         List.for_all
           (fun (t : Aitia.Causality.tested) ->
-            match t.verdict, t.flip_outcome.verdict with
-            | Aitia.Causality.Root_cause, Hypervisor.Controller.Completed ->
-              true
-            | Aitia.Causality.Benign,
-              ( Hypervisor.Controller.Failed _
-              | Hypervisor.Controller.Deadlock
-              | Hypervisor.Controller.Step_limit ) ->
-              true
-            | _, _ -> false)
+            match t.flip_outcome with
+            | None -> false (* no static pruning without static_hints *)
+            | Some o -> (
+              match t.verdict, o.verdict with
+              | Aitia.Causality.Root_cause, Hypervisor.Controller.Completed
+                ->
+                true
+              | Aitia.Causality.Benign,
+                ( Hypervisor.Controller.Failed _
+                | Hypervisor.Controller.Deadlock
+                | Hypervisor.Controller.Step_limit ) ->
+                true
+              | _, _ -> false))
           ca.tested)
 
 (* --- static analysis soundness ---------------------------------------------- *)
