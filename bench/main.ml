@@ -44,18 +44,30 @@ let chain_str (r : Aitia.Diagnose.report) =
   match r.chain with Some c -> Aitia.Chain.to_string c | None -> "-"
 
 (* Machine-readable artifact sink (--json FILE): targets that produce
-   trackable rows write them here instead of a stdout trailer. *)
+   trackable rows register them here; after every selected target has
+   run, the rows land in FILE as one object keyed by target name —
+   several targets in one invocation merge instead of overwriting each
+   other. *)
 let json_file : string option ref = ref None
+let json_docs : (string * string) list ref = ref []
 
 let emit_json ~target doc =
   match !json_file with
   | Some f ->
+    json_docs := (target, doc) :: !json_docs;
+    pr "%s json queued for %s@." target f
+  | None -> pr "json: %s@." doc
+
+let flush_json () =
+  match (!json_file, List.rev !json_docs) with
+  | None, _ | _, [] -> ()
+  | Some f, docs ->
     let oc = open_out f in
-    output_string oc doc;
+    output_string oc (Analysis.Report_json.obj docs);
     output_string oc "\n";
     close_out oc;
-    pr "%s json written to %s@." target f
-  | None -> pr "json: %s@." doc
+    pr "json written to %s (targets: %s)@." f
+      (String.concat ", " (List.map fst docs))
 
 (* --- Table 1 ------------------------------------------------------------- *)
 
@@ -623,11 +635,13 @@ let causality () =
   let rows = ref [] in
   List.iter
     (fun (bug : Bugs.Bug.t) ->
+      let t0 = Unix.gettimeofday () in
       let plain = report_of bug in
       let hinted =
         Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
           ~static_hints:true (bug.case ())
       in
+      let host_elapsed = Unix.gettimeofday () -. t0 in
       match plain.causality, hinted.causality with
       | Some pca, Some hca ->
         let flips = List.length pca.tested in
@@ -654,6 +668,13 @@ let causality () =
               ("hinted_ca_schedules", int hca.stats.schedules);
               ("plain_ca_simulated", float pca.stats.simulated);
               ("hinted_ca_simulated", float hca.stats.simulated);
+              ("plain_lifs_schedules", int plain.lifs.stats.schedules);
+              ("hinted_lifs_schedules", int hinted.lifs.stats.schedules);
+              ("hinted_lifs_static_pruned",
+               int hinted.lifs.stats.static_pruned);
+              ("plain_lifs_simulated", float plain.lifs.stats.simulated);
+              ("hinted_lifs_simulated", float hinted.lifs.stats.simulated);
+              ("host_elapsed_s", float host_elapsed);
               ("chain_identical", bool same_chain) ]
           :: !rows
       | _ -> pr "%-18s not diagnosed@." bug.id)
@@ -746,6 +767,9 @@ let all_targets =
     ("wrongfix", wrongfix); ("ablations", ablations);
     ("analysis", analysis); ("causality", causality); ("micro", micro) ]
 
+let trace_file : string option ref = ref None
+let metrics_file : string option ref = ref None
+
 let () =
   let raw = List.tl (Array.to_list Sys.argv) in
   let rec split targets = function
@@ -753,12 +777,26 @@ let () =
     | "--json" :: file :: rest ->
       json_file := Some file;
       split targets rest
-    | [ "--json" ] ->
-      Fmt.epr "--json needs a FILE argument@.";
+    | "--trace-out" :: file :: rest ->
+      trace_file := Some file;
+      split targets rest
+    | "--metrics-out" :: file :: rest ->
+      metrics_file := Some file;
+      split targets rest
+    | [ ("--json" | "--trace-out" | "--metrics-out") as flag ] ->
+      Fmt.epr "%s needs a FILE argument@." flag;
       exit 1
     | a :: rest -> split (a :: targets) rest
   in
   let args = split [] raw in
+  let recorder =
+    match (!trace_file, !metrics_file) with
+    | None, None -> None
+    | _ ->
+      let r = Telemetry.Recorder.create () in
+      Telemetry.Probe.install (Telemetry.Recorder.sink r);
+      Some r
+  in
   let selected =
     match args with
     | [] -> all_targets
@@ -774,4 +812,18 @@ let () =
             exit 1)
         names
   in
-  List.iter (fun (_, f) -> f ()) selected
+  List.iter (fun (_, f) -> f ()) selected;
+  flush_json ();
+  match recorder with
+  | None -> ()
+  | Some r ->
+    Option.iter
+      (fun f ->
+        Telemetry.Chrome_trace.write ~file:f r;
+        pr "chrome trace written to %s@." f)
+      !trace_file;
+    Option.iter
+      (fun f ->
+        Telemetry.Metrics.write ~file:f r;
+        pr "metrics written to %s@." f)
+      !metrics_file

@@ -1,0 +1,80 @@
+(* CI perf-regression gate: compare a fresh bench metrics document
+   against the committed baseline and fail loudly on regression.
+
+     perf_gate BASELINE FRESH [--target NAME] [--tolerance F]
+               [--ignore FIELD]...
+
+   Documents are either bare row arrays (the historical
+   BENCH_causality.json format) or the merged multi-target object that
+   `bench/main.exe --json` writes; rows are matched per bug.  Host wall
+   clock is ignored by default — it measures the CI runner, not the
+   code. *)
+
+let default_ignored = [ "host_elapsed_s" ]
+
+let usage () =
+  Fmt.epr
+    "usage: perf_gate BASELINE FRESH [--target NAME] [--tolerance F] \
+     [--ignore FIELD]...@.";
+  exit 2
+
+let read_doc file =
+  let ic =
+    try open_in file
+    with Sys_error e ->
+      Fmt.epr "perf_gate: %s@." e;
+      exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Telemetry.Json.of_string s with
+  | Ok doc -> doc
+  | Error e ->
+    Fmt.epr "perf_gate: %s: %s@." file e;
+    exit 2
+
+let () =
+  let files = ref [] in
+  let target = ref "causality" in
+  let tolerance = ref 0.02 in
+  let ignored = ref default_ignored in
+  let rec parse = function
+    | [] -> ()
+    | "--target" :: v :: rest ->
+      target := v;
+      parse rest
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0.0 -> tolerance := f
+      | _ ->
+        Fmt.epr "perf_gate: bad tolerance %S@." v;
+        exit 2);
+      parse rest
+    | "--ignore" :: v :: rest ->
+      ignored := v :: !ignored;
+      parse rest
+    | ("--target" | "--tolerance" | "--ignore") :: [] -> usage ()
+    | a :: _ when String.length a > 2 && String.sub a 0 2 = "--" -> usage ()
+    | a :: rest ->
+      files := a :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ baseline_file; fresh_file ] ->
+    let baseline = read_doc baseline_file in
+    let fresh = read_doc fresh_file in
+    let v =
+      Telemetry.Gate.compare_docs ~tolerance:!tolerance
+        ~ignore_fields:!ignored ~target:!target ~baseline ~fresh ()
+    in
+    if v.gate_ok then (
+      Fmt.pr "perf gate OK: %d metric(s) within %.0f%% of %s@." v.checked
+        (100.0 *. !tolerance) baseline_file;
+      exit 0)
+    else (
+      Fmt.epr "perf gate FAILED (%d metric(s) checked):@." v.checked;
+      List.iter (fun m -> Fmt.epr "  %s@." m) v.violations;
+      exit 1)
+  | _ -> usage ()

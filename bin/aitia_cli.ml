@@ -4,10 +4,14 @@
    aitia diagnose <id> …      — run the full pipeline, print the report
    aitia analyze <id> …       — static lockset/MHP analysis, JSON report
    aitia lint <id> …          — static lock-order lint (cycles, inversions)
+   aitia stats <id> …         — diagnose under telemetry, print the metrics
    aitia chain <id> …         — print only the causality chain
    aitia fuzz <id> [--seed n] — fuzz the workload, then diagnose the crash
    aitia compare <id> …       — run the prior-work baselines on a bug
-*)
+
+   Every subcommand accepts --trace-out FILE (Chrome trace-event JSON
+   of the whole invocation, for chrome://tracing) and --metrics-out
+   FILE (flat counters/histograms/span-rollup JSON). *)
 
 open Cmdliner
 
@@ -24,7 +28,19 @@ let setup_logs =
     Arg.(value & opt (some string) None
          & info [ "log-level" ] ~docv:"LEVEL" ~doc)
   in
-  let init debug level =
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON of this invocation to \
+                   $(docv) (load it in chrome://tracing or Perfetto)")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write flat metrics JSON (counters, histograms, span \
+                   rollups) of this invocation to $(docv)")
+  in
+  let init debug level trace_out metrics_out =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     let lvl =
@@ -37,9 +53,23 @@ let setup_logs =
           Fmt.epr "aitia: %s@." m;
           exit 1)
     in
-    Logs.set_level lvl
+    Logs.set_level lvl;
+    (* Telemetry sinks: one recorder for the whole invocation, flushed
+       to the requested files when the process exits. *)
+    match (trace_out, metrics_out) with
+    | None, None -> ()
+    | _ ->
+      let r = Telemetry.Recorder.create () in
+      Telemetry.Probe.install (Telemetry.Recorder.sink r);
+      at_exit (fun () ->
+          Option.iter
+            (fun file -> Telemetry.Chrome_trace.write ~file r)
+            trace_out;
+          Option.iter
+            (fun file -> Telemetry.Metrics.write ~file r)
+            metrics_out)
   in
-  Term.(const init $ debug $ level)
+  Term.(const init $ debug $ level $ trace_out $ metrics_out)
 
 let bug_arg =
   let doc = "Bug id(s) from the corpus (see `aitia list'); 'all' selects \
@@ -205,6 +235,71 @@ let lint_cmd =
              witness paths and guarded-publication inversions")
     Term.(const run $ setup_logs $ bug_arg $ json)
 
+(* --- stats ------------------------------------------------------------ *)
+
+let stats_cmd =
+  let hints =
+    Arg.(value & flag
+         & info [ "static-hints" ]
+             ~doc:"Diagnose with the static lockset/MHP and \
+                   flip-feasibility hints enabled")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one flat metrics JSON object per bug instead of \
+                   the table")
+  in
+  let run () ids static_hints json =
+    List.iter
+      (fun (bug : Bugs.Bug.t) ->
+        (* A per-bug recorder; tee into the invocation-wide sink (from
+           --trace-out/--metrics-out) when one is installed, so the
+           Chrome trace still sees these runs. *)
+        let r = Telemetry.Recorder.create () in
+        let sink =
+          match Telemetry.Probe.current_sink () with
+          | None -> Telemetry.Recorder.sink r
+          | Some outer ->
+            Telemetry.Sink.tee outer (Telemetry.Recorder.sink r)
+        in
+        let report =
+          Telemetry.Probe.with_sink sink (fun () ->
+              diagnose_bug ~static_hints bug)
+        in
+        if json then
+          Fmt.pr "%s@."
+            (Analysis.Report_json.obj
+               [ ("bug", Analysis.Report_json.str bug.id);
+                 ("reproduced",
+                  Analysis.Report_json.bool
+                    (Aitia.Diagnose.reproduced report));
+                 ("metrics",
+                  Telemetry.Metrics.to_string r) ])
+        else (
+          Fmt.pr "%s: %s@." bug.id
+            (if Aitia.Diagnose.reproduced report then "reproduced"
+             else "not reproduced");
+          Fmt.pr "  counters:@.";
+          List.iter
+            (fun (name, v) -> Fmt.pr "    %-42s %10d@." name v)
+            (Telemetry.Recorder.counters r);
+          Fmt.pr "  spans:%50s %10s@." "count" "total(ms)";
+          List.iter
+            (fun (name, (s : Telemetry.Recorder.span_stat)) ->
+              Fmt.pr "    %-42s %10d %10.2f@." name s.s_count
+                (s.s_total_us /. 1000.0))
+            (Telemetry.Recorder.span_stats r)))
+      (resolve ids);
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Diagnose under a telemetry recorder and print the collected \
+             metrics: schedule/flip/instruction counters and per-span \
+             wall-time rollups")
+    Term.(const run $ setup_logs $ bug_arg $ hints $ json)
+
 (* --- chain ------------------------------------------------------------ *)
 
 let chain_cmd =
@@ -298,7 +393,7 @@ let main =
       ~doc:"Root-cause diagnosis of kernel concurrency failures (EuroSys'23)"
   in
   Cmd.group info
-    [ list_cmd; diagnose_cmd; analyze_cmd; lint_cmd; chain_cmd; fuzz_cmd;
-      compare_cmd ]
+    [ list_cmd; diagnose_cmd; analyze_cmd; lint_cmd; stats_cmd; chain_cmd;
+      fuzz_cmd; compare_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -78,7 +78,12 @@ let pair_of a b =
   { site_a = a; site_b = b; cls; witness }
 
 let analyze ?(serial = []) (g : Ksim.Program.group) : result =
-  let mhp = Mhp.of_group ~serial g in
+  Telemetry.Probe.with_span ~cat:"analysis" "analysis.candidates"
+    ~args:[ ("group", g.Ksim.Program.group_name) ] @@ fun () ->
+  let mhp =
+    Telemetry.Probe.with_span ~cat:"analysis" "analysis.lockset_mhp"
+      (fun () -> Mhp.of_group ~serial g)
+  in
   let threads = Mhp.threads mhp in
   let by_thread = List.map (fun th -> (th, sites_of_thread th)) threads in
   let sites = List.concat_map snd by_thread in
@@ -133,6 +138,9 @@ let analyze ?(serial = []) (g : Ksim.Program.group) : result =
             ss)
       (thread_pairs by_thread)
   in
+  Telemetry.Probe.count "analysis.candidate_passes";
+  Telemetry.Probe.count ~by:(List.length sites) "analysis.sites";
+  Telemetry.Probe.count ~by:(List.length pairs) "analysis.pairs";
   { group_name = g.Ksim.Program.group_name;
     thread_names = List.map (fun th -> th.Mhp.thread_name) threads;
     serial;

@@ -132,6 +132,8 @@ let obj_in objs addr =
 
 let analyze ~(trace : Ksim.Machine.event list) ~(plan : Iid.t list)
     ~(first : Ksim.Access.t) ~(second : Ksim.Access.t) : verdict =
+  Telemetry.Probe.with_span ~cat:"analysis" "analysis.flipfeas" @@ fun () ->
+  Telemetry.Probe.count "analysis.flipfeas_queries";
   let events = Array.of_list trace in
   let n = Array.length events in
   if n = 0 then Unknown "empty trace"

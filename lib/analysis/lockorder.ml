@@ -274,6 +274,8 @@ let inversions_of mhp (group : Ksim.Program.group) : inversion list =
 (* --- entry point -------------------------------------------------------- *)
 
 let analyze ?serial (group : Ksim.Program.group) : report =
+  Telemetry.Probe.with_span ~cat:"analysis" "analysis.lockorder"
+    ~args:[ ("group", group.Ksim.Program.group_name) ] @@ fun () ->
   let mhp = Mhp.of_group ?serial group in
   let threads = Mhp.threads mhp in
   let edges = List.concat_map edges_of_thread threads in

@@ -1,37 +1,16 @@
-(* Hand-rolled JSON emission for the analyze report. *)
+(* JSON emission for the analyze report.  The base combinators moved
+   to Telemetry.Json (shared with the metrics exporters and the perf
+   gate); this module re-exports them so existing callers keep
+   compiling, and keeps the analysis-specific serializers. *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let str s = "\"" ^ escape s ^ "\""
-
-let arr items = "[" ^ String.concat "," items ^ "]"
-
-let obj fields =
-  "{"
-  ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
-  ^ "}"
-
-let str_list ss = arr (List.map str ss)
-
-let bool b = if b then "true" else "false"
-
-let int = string_of_int
-
-let float f = Printf.sprintf "%.4f" f
+let escape = Telemetry.Json.escape
+let str = Telemetry.Json.str
+let arr = Telemetry.Json.arr
+let obj = Telemetry.Json.obj
+let str_list = Telemetry.Json.str_list
+let bool = Telemetry.Json.bool
+let int = Telemetry.Json.int
+let float = Telemetry.Json.float
 
 let kind_json k = str (Fmt.to_to_string Ksim.Instr.pp_access_kind k)
 

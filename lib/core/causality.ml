@@ -234,65 +234,89 @@ let survived (o : Controller.outcome) =
   | Controller.Completed -> true
   | Controller.Failed _ | Controller.Deadlock | Controller.Step_limit -> false
 
+(* Test one race: build the flip plan, statically prune it when the
+   hints prove the re-run redundant, otherwise execute the flip. *)
+let test_one ?max_steps ~prologue ~static_hints (vm : Hypervisor.Vm.t)
+    ~(failing : Controller.outcome) ~(races : Race.t list) (r : Race.t) :
+    tested =
+  let plan = flip_plan failing.trace r in
+  (* Flip-feasibility pre-analysis (static hints): a flip whose re-run
+     provably cannot complete is Benign without execution — the Benign
+     verdict covers every non-completing outcome. *)
+  let pruned =
+    if not static_hints then None
+    else
+      Analysis.Flipfeas.prunable
+        (Analysis.Flipfeas.analyze ~trace:failing.trace
+           ~plan:plan.Schedule.events ~first:r.first ~second:r.second)
+  in
+  match pruned with
+  | Some reason ->
+    Log.debug (fun m ->
+        m "flip %a -> statically pruned (%s)" Race.pp_short r reason);
+    { race = r;
+      verdict = Benign;
+      flip_outcome = None;
+      pruned;
+      disappeared = [];
+      ambiguous = false;
+      enforced = false }
+  | None ->
+    let run = Executor.run_plan ?max_steps ~prologue vm plan in
+    let ok = survived run.outcome in
+    let disappeared =
+      if not ok then []
+      else
+        List.filter
+          (fun r' ->
+            (not (Race.equal r r'))
+            && not (Race.occurred_in run.outcome.trace r'))
+          races
+    in
+    let enforced =
+      Race.occurred_in run.outcome.trace
+        { Race.first = r.second; second = r.first }
+    in
+    Log.debug (fun m ->
+        m "flip %a -> %s%s" Race.pp_short r
+          (if ok then "no failure (root cause)"
+           else "still fails (benign)")
+          (if enforced then "" else " [vacuous]"));
+    { race = r;
+      verdict = (if ok then Root_cause else Benign);
+      flip_outcome = Some run.outcome;
+      pruned = None;
+      disappeared;
+      ambiguous = false;
+      enforced }
+
 let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
     (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
     ~(races : Race.t list) () : result =
+  Telemetry.Probe.span_begin ~cat:"causality" "causality.analyze";
   let t0 = Unix.gettimeofday () in
   let runs_before = Hypervisor.Vm.runs vm in
   let ordered = test_order ?direction races in
+  (* One span per flip test, closed with the verdict (and the static
+     proof when the re-run was pruned). *)
+  let flip_args (t : tested) =
+    [ ("race", Fmt.str "%a" Race.pp_short t.race);
+      ("verdict",
+       match t.verdict with
+       | Root_cause -> "root-cause"
+       | Benign -> "benign");
+      ("pruned", Option.value ~default:"" t.pruned);
+      ("enforced", if t.enforced then "true" else "false") ]
+  in
   let tested =
     List.map
       (fun (r : Race.t) ->
-        let plan = flip_plan failing.trace r in
-        (* Flip-feasibility pre-analysis (static hints): a flip whose
-           re-run provably cannot complete is Benign without execution
-           — the Benign verdict covers every non-completing outcome. *)
-        let pruned =
-          if not static_hints then None
-          else
-            Analysis.Flipfeas.prunable
-              (Analysis.Flipfeas.analyze ~trace:failing.trace
-                 ~plan:plan.Schedule.events ~first:r.first ~second:r.second)
-        in
-        match pruned with
-        | Some reason ->
-          Log.debug (fun m ->
-              m "flip %a -> statically pruned (%s)" Race.pp_short r reason);
-          { race = r;
-            verdict = Benign;
-            flip_outcome = None;
-            pruned;
-            disappeared = [];
-            ambiguous = false;
-            enforced = false }
-        | None ->
-          let run = Executor.run_plan ?max_steps ~prologue vm plan in
-          let ok = survived run.outcome in
-          let disappeared =
-            if not ok then []
-            else
-              List.filter
-                (fun r' ->
-                  (not (Race.equal r r'))
-                  && not (Race.occurred_in run.outcome.trace r'))
-                races
-          in
-          let enforced =
-            Race.occurred_in run.outcome.trace
-              { Race.first = r.second; second = r.first }
-          in
-          Log.debug (fun m ->
-              m "flip %a -> %s%s" Race.pp_short r
-                (if ok then "no failure (root cause)"
-                 else "still fails (benign)")
-                (if enforced then "" else " [vacuous]"));
-          { race = r;
-            verdict = (if ok then Root_cause else Benign);
-            flip_outcome = Some run.outcome;
-            pruned = None;
-            disappeared;
-            ambiguous = false;
-            enforced })
+        Telemetry.Probe.span_begin ~cat:"causality" "causality.flip";
+        let t = test_one ?max_steps ~prologue ~static_hints vm ~failing
+            ~races r in
+        (if Telemetry.Probe.installed () then
+           Telemetry.Probe.span_end ~args:(flip_args t) ());
+        t)
       ordered
   in
   let root_tested =
@@ -345,15 +369,28 @@ let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
     List.filter (fun (t : tested) -> t.ambiguous) tested
     |> List.map (fun t -> t.race)
   in
-  { tested;
-    root_causes;
-    benign;
-    edges;
-    ambiguous;
-    stats =
-      { schedules = Hypervisor.Vm.runs vm - runs_before;
-        flips_statically_pruned =
-          List.length
-            (List.filter (fun (t : tested) -> t.pruned <> None) tested);
-        elapsed = Unix.gettimeofday () -. t0;
-        simulated = Hypervisor.Vm.simulated_seconds vm } }
+  let stats =
+    { schedules = Hypervisor.Vm.runs vm - runs_before;
+      flips_statically_pruned =
+        List.length
+          (List.filter (fun (t : tested) -> t.pruned <> None) tested);
+      elapsed = Unix.gettimeofday () -. t0;
+      simulated = Hypervisor.Vm.simulated_seconds vm }
+  in
+  if Telemetry.Probe.installed () then (
+    Telemetry.Probe.count ~by:(List.length tested) "causality.flips";
+    Telemetry.Probe.count
+      ~by:(List.length tested - stats.flips_statically_pruned)
+      "causality.flips_executed";
+    Telemetry.Probe.count ~by:stats.flips_statically_pruned
+      "causality.flips_statically_pruned";
+    Telemetry.Probe.count ~by:(List.length root_causes)
+      "causality.root_causes";
+    Telemetry.Probe.count ~by:(List.length benign) "causality.benign_races";
+    Telemetry.Probe.span_end
+      ~args:
+        [ ("flips", string_of_int (List.length tested));
+          ("root_causes", string_of_int (List.length root_causes));
+          ("schedules", string_of_int stats.schedules) ]
+      ());
+  { tested; root_causes; benign; edges; ambiguous; stats }

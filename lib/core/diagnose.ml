@@ -79,6 +79,9 @@ let hints_of_group (group : Ksim.Program.group) (prologue : int list) :
 
 let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
     ?(slice_order = `Nearest_first) (case : case) : report =
+  Telemetry.Probe.with_span ~cat:"diagnose" "diagnose"
+    ~args:[ ("case", case.case_name) ]
+  @@ fun () ->
   let crash = Trace.History.crash case.history in
   let target = Trace.Crash.matches crash in
   let slices = Trace.Slicer.slices case.history in
@@ -110,32 +113,49 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
             m "case %s: trying slice {%a}" case.case_name
               (Fmt.list ~sep:Fmt.comma Fmt.string)
               (Trace.Slicer.threads slice));
-        let lifs_vm = Hypervisor.Vm.create group in
-        let hints =
-          if static_hints then Some (hints_of_group group prologue) else None
-        in
-        let lifs =
-          Lifs.search ?max_interleavings ?max_steps ~prologue
-            ?static_hints:hints lifs_vm ~target ()
-        in
-        match lifs.found with
-        | None -> try_slices (tried + 1) (widest last_lifs lifs) rest
-        | Some success ->
-          let ca_vm = Hypervisor.Vm.create group in
-          let ca =
-            Causality.analyze ?max_steps ~prologue ~static_hints ca_vm
-              ~failing:success.outcome ~races:success.races ()
+        Telemetry.Probe.count "diagnose.slices";
+        (* The whole attempt — LIFS, and Causality Analysis on success
+           — is one slice span; the recursion to the next slice happens
+           outside it, so slice spans are siblings in the trace. *)
+        let attempt () =
+          let lifs_vm = Hypervisor.Vm.create group in
+          let hints =
+            if static_hints then Some (hints_of_group group prologue)
+            else None
           in
-          let chain = Chain.of_causality ca ~failure:success.failure in
-          let metrics =
-            { mem_accessing_instrs =
-                List.length (Race.accesses_of_trace success.outcome.trace);
-              races_detected = List.length success.races;
-              races_in_chain = List.length ca.root_causes }
+          let lifs =
+            Lifs.search ?max_interleavings ?max_steps ~prologue
+              ?static_hints:hints lifs_vm ~target ()
           in
-          { case; slices_tried = tried + 1;
-            slice_threads = Trace.Slicer.threads slice;
-            lifs; causality = Some ca; chain = Some chain;
-            metrics = Some metrics }))
+          match lifs.found with
+          | None -> Error lifs
+          | Some success ->
+            let ca_vm = Hypervisor.Vm.create group in
+            let ca =
+              Causality.analyze ?max_steps ~prologue ~static_hints ca_vm
+                ~failing:success.outcome ~races:success.races ()
+            in
+            let chain = Chain.of_causality ca ~failure:success.failure in
+            let metrics =
+              { mem_accessing_instrs =
+                  List.length (Race.accesses_of_trace success.outcome.trace);
+                races_detected = List.length success.races;
+                races_in_chain = List.length ca.root_causes }
+            in
+            Ok
+              { case; slices_tried = tried + 1;
+                slice_threads = Trace.Slicer.threads slice;
+                lifs; causality = Some ca; chain = Some chain;
+                metrics = Some metrics }
+        in
+        match
+          Telemetry.Probe.with_span ~cat:"diagnose" "diagnose.slice"
+            ~args:
+              [ ("threads",
+                 String.concat "," (Trace.Slicer.threads slice)) ]
+            attempt
+        with
+        | Error lifs -> try_slices (tried + 1) (widest last_lifs lifs) rest
+        | Ok report -> report))
   in
   try_slices 0 None slices

@@ -23,6 +23,9 @@ let with_prologue (prologue : int list) (policy : Hypervisor.Controller.policy)
 
 let run_preemption ?max_steps ?(prologue = []) (vm : Hypervisor.Vm.t)
     (sched : Hypervisor.Schedule.preemption) : run =
+  Telemetry.Probe.with_span ~cat:"executor" "executor.preemption"
+  @@ fun () ->
+  Telemetry.Probe.count "executor.preemption_runs";
   let policy =
     with_prologue prologue (Hypervisor.Schedule.preemption_policy sched)
   in
@@ -31,6 +34,8 @@ let run_preemption ?max_steps ?(prologue = []) (vm : Hypervisor.Vm.t)
 
 let run_plan ?max_steps ?(prologue = []) (vm : Hypervisor.Vm.t)
     (plan : Hypervisor.Schedule.plan) : run =
+  Telemetry.Probe.with_span ~cat:"executor" "executor.plan" @@ fun () ->
+  Telemetry.Probe.count "executor.plan_runs";
   let policy = with_prologue prologue (Hypervisor.Schedule.plan_policy plan) in
   let outcome = Hypervisor.Vm.run ?max_steps vm policy in
   { schedule_kind = `Plan; outcome }

@@ -211,6 +211,7 @@ let signature (sched : Schedule.preemption) = Schedule.preemption_key sched
 let search ?(max_interleavings = default_max_interleavings) ?max_steps
     ?(prologue = []) ?(prune = true) ?static_hints (vm : Hypervisor.Vm.t)
     ~(target : Ksim.Failure.t -> bool) () : result =
+  Telemetry.Probe.span_begin ~cat:"lifs" "lifs.search";
   let t0 = Unix.gettimeofday () in
   let group = Hypervisor.Vm.group vm in
   let n_top = List.length group.Ksim.Program.threads in
@@ -226,16 +227,27 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
   let runs_before = Hypervisor.Vm.runs vm in
   let finish found interleavings =
     let elapsed = Unix.gettimeofday () -. t0 in
-    { found;
-      stats =
-        { schedules = Hypervisor.Vm.runs vm - runs_before;
-          pruned = !pruned;
-          static_pruned = !static_pruned;
-          interleavings;
-          elapsed;
-          simulated = Hypervisor.Vm.simulated_seconds vm };
-      db = !db;
-      runs = List.rev !executed }
+    let stats =
+      { schedules = Hypervisor.Vm.runs vm - runs_before;
+        pruned = !pruned;
+        static_pruned = !static_pruned;
+        interleavings;
+        elapsed;
+        simulated = Hypervisor.Vm.simulated_seconds vm }
+    in
+    if Telemetry.Probe.installed () then (
+      Telemetry.Probe.count ~by:stats.schedules "lifs.schedules";
+      Telemetry.Probe.count ~by:stats.pruned "lifs.schedules_pruned";
+      Telemetry.Probe.count ~by:stats.static_pruned
+        "lifs.schedules_statically_skipped";
+      if found <> None then Telemetry.Probe.count "lifs.reproduced";
+      Telemetry.Probe.span_end
+        ~args:
+          [ ("schedules", string_of_int stats.schedules);
+            ("interleavings", string_of_int interleavings);
+            ("reproduced", if found = None then "false" else "true") ]
+        ());
+    { found; stats; db = !db; runs = List.rev !executed }
   in
   let run_sched (sched : Schedule.preemption) =
     let r = Executor.run_preemption ?max_steps ~prologue vm sched in
@@ -287,6 +299,9 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
           (fun (_, ra, _) (_, rb, _) -> compare ra rb)
           frontier
     in
+    Telemetry.Probe.span_begin ~cat:"lifs" "lifs.phase";
+    Telemetry.Probe.observe "lifs.frontier_size"
+      (float_of_int (List.length frontier));
     let failed = ref None in
     List.iter
       (fun (equiv_sig, _rank, sched) ->
@@ -304,6 +319,13 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
             | Some f when target f -> failed := Some (sched, r.outcome, f)
             | Some _ | None -> ())))
       frontier;
+    if Telemetry.Probe.installed () then
+      Telemetry.Probe.span_end
+        ~args:
+          [ ("interleavings", string_of_int k);
+            ("frontier", string_of_int (List.length frontier));
+            ("reproduced", if !failed = None then "false" else "true") ]
+        ();
     match !failed with
     | Some (sched, outcome, f) ->
       Log.debug (fun m ->
@@ -327,14 +349,16 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
             (List.rev !executed)
         in
         let next =
-          List.concat_map
-            (fun (s, o) ->
-              let cands, skips =
-                extensions ~db:!db ~n_top ~prologue ?hints:static_hints s o
-              in
-              static_pruned := !static_pruned + skips;
-              cands)
-            parents
+          Telemetry.Probe.with_span ~cat:"lifs" "lifs.extend" (fun () ->
+              List.concat_map
+                (fun (s, o) ->
+                  let cands, skips =
+                    extensions ~db:!db ~n_top ~prologue ?hints:static_hints
+                      s o
+                  in
+                  static_pruned := !static_pruned + skips;
+                  cands)
+                parents)
         in
         run_phase next (k + 1))
   in

@@ -41,9 +41,29 @@ let irq_in_progress m runnable =
       && Ksim.Machine.has_started m tid)
     runnable
 
+let verdict_name = function
+  | Completed -> "completed"
+  | Failed _ -> "failed"
+  | Deadlock -> "deadlock"
+  | Step_limit -> "step-limit"
+
+(* Context switches of a trace: the scheduling analogue of the
+   hypervisor's breakpoint-hit count — each switch is one trampoline
+   interception in the paper's setup. *)
+let context_switches (trace : Ksim.Machine.event list) =
+  let rec go prev n = function
+    | [] -> n
+    | (e : Ksim.Machine.event) :: rest ->
+      let tid = e.iid.Ksim.Access.Iid.tid in
+      go (Some tid)
+        (if prev = Some tid || prev = None then n else n + 1)
+        rest
+  in
+  go None 0 trace
+
 (* Run [m] under [policy] until completion, failure, deadlock or the step
    watchdog. *)
-let run ?(max_steps = default_max_steps) (m : Ksim.Machine.t)
+let run_raw ?(max_steps = default_max_steps) (m : Ksim.Machine.t)
     (policy : policy) : outcome =
   let rec loop m acc steps =
     if steps >= max_steps then
@@ -92,6 +112,27 @@ let run ?(max_steps = default_max_steps) (m : Ksim.Machine.t)
               | None -> assert false))))
   in
   loop m [] 0
+
+(* The instrumented entry point: one span per enforced schedule, plus
+   the step-loop counters (instructions stepped, context switches —
+   our breakpoint hits).  The counters are derived after the run from
+   local state, so the disabled path costs one ref read. *)
+let run ?max_steps (m : Ksim.Machine.t) (policy : policy) : outcome =
+  Telemetry.Probe.span_begin ~cat:"hypervisor" "controller.run";
+  let o = run_raw ?max_steps m policy in
+  if Telemetry.Probe.installed () then (
+    Telemetry.Probe.count "controller.runs";
+    Telemetry.Probe.count ~by:o.steps "controller.instructions";
+    Telemetry.Probe.count
+      ~by:(context_switches o.trace)
+      "controller.context_switches";
+    Telemetry.Probe.count ("controller.verdict." ^ verdict_name o.verdict);
+    Telemetry.Probe.span_end
+      ~args:
+        [ ("verdict", verdict_name o.verdict);
+          ("steps", string_of_int o.steps) ]
+      ());
+  o
 
 let pp_verdict ppf = function
   | Completed -> Fmt.string ppf "completed"

@@ -34,5 +34,16 @@ val irq_in_progress : Ksim.Machine.t -> int list -> int option
     a single-CPU guest can use this to run it to completion. *)
 
 val run : ?max_steps:int -> Ksim.Machine.t -> policy -> outcome
+(** Runs under a [controller.run] telemetry span with step-loop
+    counters (instructions stepped, context switches); when no sink is
+    installed the instrumentation is a no-op and the outcome is
+    bit-identical. *)
+
+val context_switches : Ksim.Machine.event list -> int
+(** Context switches of a trace — the scheduling analogue of the
+    hypervisor's breakpoint-hit count. *)
+
+val verdict_name : verdict -> string
+(** Short stable name ([completed], [failed], …) for telemetry args. *)
 
 val pp_verdict : verdict Fmt.t

@@ -41,13 +41,18 @@ let group t = t.group
    snapshot. *)
 let boot t =
   t.stats.reverts <- t.stats.reverts + 1;
+  Telemetry.Probe.count "vm.snapshot_restores";
   Ksim.Machine.create t.group
 
 let record t (o : Controller.outcome) =
   t.stats.runs <- t.stats.runs + 1;
   t.stats.steps <- t.stats.steps + o.steps;
+  Telemetry.Probe.count "vm.runs";
   (match o.verdict with
-  | Controller.Failed _ -> t.stats.failures <- t.stats.failures + 1
+  | Controller.Failed _ ->
+    t.stats.failures <- t.stats.failures + 1;
+    (* A failing run forces a guest reboot — the dominant CA cost. *)
+    Telemetry.Probe.count "vm.reboots"
   | Controller.Deadlock | Controller.Step_limit ->
     t.stats.deadlocks <- t.stats.deadlocks + 1
   | Controller.Completed -> ())

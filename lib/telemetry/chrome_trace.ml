@@ -1,0 +1,74 @@
+(* Chrome trace-event export: the `chrome://tracing` / Perfetto JSON
+   format (trace-event spec, "JSON Object Format").
+
+   Every closed span becomes a "ph":"X" complete event (nesting within
+   a track is inferred from ts/dur containment), every instant a
+   "ph":"i" event, and the final value of every counter a "ph":"C"
+   counter sample at the end of the timeline — so the counter tracks
+   show the run's totals.  Timestamps are the probe's microseconds. *)
+
+let us f = Printf.sprintf "%.1f" f
+
+let args_json args =
+  Json.obj (List.map (fun (k, v) -> (k, Json.str v)) args)
+
+let span_event (s : Sink.span) =
+  Json.obj
+    [ ("name", Json.str s.span_name);
+      ("cat", Json.str s.span_cat);
+      ("ph", Json.str "X");
+      ("ts", us s.span_start_us);
+      ("dur", us s.span_dur_us);
+      ("pid", "1");
+      ("tid", "1");
+      ("args", args_json s.span_args) ]
+
+let instant_event (i : Sink.instant) =
+  Json.obj
+    [ ("name", Json.str i.i_name);
+      ("cat", Json.str i.i_cat);
+      ("ph", Json.str "i");
+      ("ts", us i.i_ts_us);
+      ("pid", "1");
+      ("tid", "1");
+      ("s", Json.str "t");
+      ("args", args_json i.i_args) ]
+
+let counter_event ~ts (name, value) =
+  Json.obj
+    [ ("name", Json.str name);
+      ("cat", Json.str "counter");
+      ("ph", Json.str "C");
+      ("ts", us ts);
+      ("pid", "1");
+      ("tid", "1");
+      ("args", Json.obj [ ("value", Json.int value) ]) ]
+
+let to_string (r : Recorder.t) =
+  let spans = Recorder.spans r and instants = Recorder.instants r in
+  let timed =
+    List.map (fun (s : Sink.span) -> (s.span_start_us, span_event s)) spans
+    @ List.map (fun (i : Sink.instant) -> (i.i_ts_us, instant_event i))
+        instants
+  in
+  let timed =
+    List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) timed
+  in
+  let horizon =
+    List.fold_left
+      (fun acc (s : Sink.span) ->
+        Float.max acc (s.span_start_us +. s.span_dur_us))
+      0.0 spans
+  in
+  let counters =
+    List.map (counter_event ~ts:horizon) (Recorder.counters r)
+  in
+  Json.obj
+    [ ("traceEvents", Json.arr (List.map snd timed @ counters));
+      ("displayTimeUnit", Json.str "ms") ]
+
+let write ~file r =
+  let oc = open_out file in
+  output_string oc (to_string r);
+  output_string oc "\n";
+  close_out oc

@@ -1,0 +1,87 @@
+(* The perf-regression gate: compare two metric documents (arrays of
+   per-bug JSON rows, as written by `bench … --json`) and flag any
+   metric that got worse.
+
+   Every numeric field of the baseline is treated as higher-is-worse —
+   schedules explored, flips executed, simulated seconds — and fails
+   when the fresh value exceeds baseline * (1 + tolerance).  Boolean
+   fields are invariants: a [true] in the baseline (e.g.
+   [chain_identical]) must stay [true].  Fields named in
+   [ignore_fields] (host wall clock, ratios where higher is better)
+   are skipped.  Rows are matched by [id_key]; a baseline row missing
+   from the fresh document is a failure, extra fresh rows and extra
+   fresh fields are allowed (metrics can grow without invalidating old
+   baselines). *)
+
+type verdict = {
+  gate_ok : bool;
+  checked : int;       (* individual metric comparisons performed *)
+  violations : string list;
+}
+
+let rows_of ~target doc =
+  match doc with
+  | Json.Arr rows -> Some rows
+  | Json.Obj _ ->
+    Option.bind (Json.member target doc) Json.to_list
+  | _ -> None
+
+let row_id ~id_key row =
+  match Option.bind (Json.member id_key row) Json.to_str with
+  | Some id -> id
+  | None -> "<no-" ^ id_key ^ ">"
+
+let compare_rows ?(tolerance = 0.02) ?(ignore_fields = []) ~id_key
+    ~(baseline : Json.t list) ~(fresh : Json.t list) () : verdict =
+  let fresh_by_id =
+    List.map (fun row -> (row_id ~id_key row, row)) fresh
+  in
+  let checked = ref 0 and violations = ref [] in
+  let violation fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  List.iter
+    (fun brow ->
+      let id = row_id ~id_key brow in
+      match List.assoc_opt id fresh_by_id with
+      | None -> violation "%s: row missing from the fresh document" id
+      | Some frow ->
+        let fields = match brow with Json.Obj kvs -> kvs | _ -> [] in
+        List.iter
+          (fun (k, bv) ->
+            if String.equal k id_key || List.mem k ignore_fields then ()
+            else
+              match bv with
+              | Json.Num b -> (
+                incr checked;
+                match Option.bind (Json.member k frow) Json.to_num with
+                | None -> violation "%s: %s missing from the fresh row" id k
+                | Some f ->
+                  if f > (b *. (1.0 +. tolerance)) +. 1e-9 then
+                    violation "%s: %s regressed %g -> %g (tolerance %g%%)"
+                      id k b f (100.0 *. tolerance))
+              | Json.Bool true -> (
+                incr checked;
+                match Option.bind (Json.member k frow) Json.to_bool with
+                | Some true -> ()
+                | Some false -> violation "%s: invariant %s broke" id k
+                | None -> violation "%s: %s missing from the fresh row" id k)
+              | _ -> ())
+          fields)
+    baseline;
+  { gate_ok = !violations = [];
+    checked = !checked;
+    violations = List.rev !violations }
+
+let compare_docs ?tolerance ?ignore_fields ?(target = "causality")
+    ~(baseline : Json.t) ~(fresh : Json.t) () : verdict =
+  match (rows_of ~target baseline, rows_of ~target fresh) with
+  | None, _ ->
+    { gate_ok = false;
+      checked = 0;
+      violations = [ "baseline has no '" ^ target ^ "' rows" ] }
+  | _, None ->
+    { gate_ok = false;
+      checked = 0;
+      violations = [ "fresh document has no '" ^ target ^ "' rows" ] }
+  | Some b, Some f ->
+    compare_rows ?tolerance ?ignore_fields ~id_key:"bug" ~baseline:b
+      ~fresh:f ()

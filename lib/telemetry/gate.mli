@@ -1,0 +1,36 @@
+(** Perf-regression gate over bench metric documents.
+
+    Numeric fields are higher-is-worse and fail beyond
+    [baseline * (1 + tolerance)]; [true] booleans are invariants that
+    must hold in the fresh document; [ignore_fields] skips metrics that
+    are non-deterministic (host wall clock) or higher-is-better. *)
+
+type verdict = {
+  gate_ok : bool;
+  checked : int;  (** individual metric comparisons performed *)
+  violations : string list;
+}
+
+val compare_rows :
+  ?tolerance:float ->
+  ?ignore_fields:string list ->
+  id_key:string ->
+  baseline:Json.t list ->
+  fresh:Json.t list ->
+  unit ->
+  verdict
+(** Compare arrays of per-row objects matched on [id_key].  A baseline
+    row or field missing from the fresh side is a violation; extra
+    fresh rows/fields are allowed.  [tolerance] defaults to 0.02. *)
+
+val compare_docs :
+  ?tolerance:float ->
+  ?ignore_fields:string list ->
+  ?target:string ->
+  baseline:Json.t ->
+  fresh:Json.t ->
+  unit ->
+  verdict
+(** Extract the row array from each document — either a bare array or
+    the [target] member (default ["causality"]) of a merged bench
+    object — and compare with {!compare_rows} keyed on ["bug"]. *)

@@ -1,0 +1,42 @@
+(* Flat metrics export: counters, histogram summaries and per-span
+   rollups as one JSON object — the machine-readable side of
+   `aitia stats` and the bench `--metrics-out` sink.  Built from the
+   same combinators as every other report in the tree. *)
+
+let histogram_json (h : Recorder.histogram) =
+  Json.obj
+    [ ("count", Json.int h.h_count);
+      ("sum", Json.float h.h_sum);
+      ("min", Json.float h.h_min);
+      ("max", Json.float h.h_max);
+      ("mean",
+       Json.float
+         (if h.h_count = 0 then 0.0
+          else h.h_sum /. float_of_int h.h_count)) ]
+
+let span_stat_json (s : Recorder.span_stat) =
+  Json.obj
+    [ ("count", Json.int s.s_count);
+      ("total_ms", Json.float (s.s_total_us /. 1000.0)) ]
+
+let to_string (r : Recorder.t) =
+  Json.obj
+    [ ("counters",
+       Json.obj
+         (List.map (fun (k, v) -> (k, Json.int v)) (Recorder.counters r)));
+      ("histograms",
+       Json.obj
+         (List.map
+            (fun (k, h) -> (k, histogram_json h))
+            (Recorder.histograms r)));
+      ("spans",
+       Json.obj
+         (List.map
+            (fun (k, s) -> (k, span_stat_json s))
+            (Recorder.span_stats r))) ]
+
+let write ~file r =
+  let oc = open_out file in
+  output_string oc (to_string r);
+  output_string oc "\n";
+  close_out oc

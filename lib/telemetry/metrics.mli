@@ -1,0 +1,8 @@
+(** Flat metrics JSON export: one object with [counters] (name →
+    integer), [histograms] (name → count/sum/min/max/mean) and [spans]
+    (name → count/total_ms). *)
+
+val to_string : Recorder.t -> string
+
+val write : file:string -> Recorder.t -> unit
+(** [to_string] plus a trailing newline, written to [file]. *)

@@ -1,0 +1,95 @@
+(* The global instrumentation facade.
+
+   Instrumented code calls [with_span] / [count] / [observe]
+   unconditionally; each probe starts with a single match on the
+   installed-sink ref, so a build with telemetry off the hot paths
+   costs nothing measurable and — because probes never touch the
+   instrumented computation — produces bit-identical results.
+
+   Timestamps are microseconds since the first use of the module,
+   clamped monotonic (a wall-clock step backwards cannot produce a
+   negative duration).  The search and the analyses are
+   single-threaded, so one global span stack suffices; the stack depth
+   is recorded on each closed span for the exporters. *)
+
+type frame = { f_name : string; f_cat : string; f_start : float }
+
+let current : Sink.t option ref = ref None
+let stack : frame list ref = ref []
+
+let origin = Unix.gettimeofday ()
+let last = ref 0.0
+
+let now_us () =
+  let t = (Unix.gettimeofday () -. origin) *. 1e6 in
+  let t = if t < !last then !last else t in
+  last := t;
+  t
+
+let installed () = !current <> None
+let current_sink () = !current
+
+let install s =
+  current := Some s;
+  stack := []
+
+let uninstall () =
+  current := None;
+  stack := []
+
+let with_sink s f =
+  let saved = !current and saved_stack = !stack in
+  current := Some s;
+  stack := [];
+  Fun.protect
+    ~finally:(fun () ->
+      current := saved;
+      stack := saved_stack)
+    f
+
+let span_begin ?(cat = "aitia") name =
+  match !current with
+  | None -> ()
+  | Some _ ->
+    stack := { f_name = name; f_cat = cat; f_start = now_us () } :: !stack
+
+let span_end ?(args = []) () =
+  match (!current, !stack) with
+  | Some s, fr :: rest ->
+    stack := rest;
+    let stop = now_us () in
+    s.Sink.on_span
+      { Sink.span_name = fr.f_name;
+        span_cat = fr.f_cat;
+        span_depth = List.length rest;
+        span_start_us = fr.f_start;
+        span_dur_us = stop -. fr.f_start;
+        span_args = args }
+  | _ -> ()
+
+let with_span ?cat ?args name f =
+  match !current with
+  | None -> f ()
+  | Some _ -> (
+    span_begin ?cat name;
+    let args = match args with None -> [] | Some a -> a in
+    match f () with
+    | v ->
+      span_end ~args ();
+      v
+    | exception e ->
+      span_end ~args:(("error", Printexc.to_string e) :: args) ();
+      raise e)
+
+let instant ?(cat = "aitia") ?(args = []) name =
+  match !current with
+  | None -> ()
+  | Some s ->
+    s.Sink.on_instant
+      { Sink.i_name = name; i_cat = cat; i_ts_us = now_us (); i_args = args }
+
+let count ?(by = 1) name =
+  match !current with None -> () | Some s -> s.Sink.on_count name by
+
+let observe name v =
+  match !current with None -> () | Some s -> s.Sink.on_observe name v
