@@ -623,15 +623,20 @@ let analysis () =
 
 (* --- Causality Analysis pruning scenario ----------------------------------- *)
 
-(* Flip-feasibility pruning: per bug, plain Causality Analysis vs the
-   statically pruned one — flips executed, flips pruned, schedules and
-   simulated cost, with the chain-parity check that makes the pruning
-   trustworthy.  Rows land in BENCH_causality.json under --json. *)
+(* Flip-feasibility pruning and snapshot-cache re-execution: per bug,
+   plain Causality Analysis vs the statically pruned one vs the
+   snapshot-cached pipeline — flips executed, flips pruned, schedules,
+   simulated cost, instructions actually executed and the
+   schedules-per-simulated-second throughput, with the chain-parity
+   checks that make both optimisations trustworthy.  Rows land in
+   BENCH_causality.json under --json. *)
 let causality () =
   section
-    "Causality Analysis: static flip-feasibility pruning (plain vs hinted)";
-  pr "%-18s %6s | %7s %7s %7s | %8s %8s | %s@." "bug" "flips" "plain#s"
-    "hint#s" "pruned" "plain(s)" "hint(s)" "chain";
+    "Causality Analysis: flip-feasibility pruning and snapshot cache \
+     (plain vs hinted vs cached)";
+  pr "%-18s %6s | %7s %7s %7s | %8s %8s %8s | %9s %9s | %7s | %s@." "bug"
+    "flips" "plain#s" "hint#s" "pruned" "plain(s)" "hint(s)" "snap(s)"
+    "plain#i" "snap#i" "sch/ss" "chain";
   let rows = ref [] in
   List.iter
     (fun (bug : Bugs.Bug.t) ->
@@ -641,9 +646,13 @@ let causality () =
         Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
           ~static_hints:true (bug.case ())
       in
+      let snap =
+        Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+          ~snapshot_cache:true (bug.case ())
+      in
       let host_elapsed = Unix.gettimeofday () -. t0 in
-      match plain.causality, hinted.causality with
-      | Some pca, Some hca ->
+      match plain.causality, hinted.causality, snap.causality with
+      | Some pca, Some hca, Some sca ->
         let flips = List.length pca.tested in
         let executed =
           List.length
@@ -653,10 +662,24 @@ let causality () =
         in
         let pruned = hca.stats.flips_statically_pruned in
         let same_chain = String.equal (chain_str plain) (chain_str hinted) in
-        pr "%-18s %6d | %7d %7d %7d | %8.1f %8.1f | %s@." bug.id flips
-          pca.stats.schedules hca.stats.schedules pruned pca.stats.simulated
-          hca.stats.simulated
-          (if same_chain then "identical" else "DIFFERS");
+        let snap_chain = String.equal (chain_str plain) (chain_str snap) in
+        (* pipeline totals: LIFS reproduction + Causality Analysis *)
+        let plain_instrs =
+          plain.lifs.stats.executed_instrs + pca.stats.executed_instrs
+        in
+        let snap_instrs =
+          snap.lifs.stats.executed_instrs + sca.stats.executed_instrs
+        in
+        let per_simsec schedules simulated =
+          if simulated > 0. then float_of_int schedules /. simulated else 0.
+        in
+        let plain_rate = per_simsec pca.stats.schedules pca.stats.simulated in
+        let snap_rate = per_simsec sca.stats.schedules sca.stats.simulated in
+        pr "%-18s %6d | %7d %7d %7d | %8.1f %8.1f %8.1f | %9d %9d | %7.1f | %s@."
+          bug.id flips pca.stats.schedules hca.stats.schedules pruned
+          pca.stats.simulated hca.stats.simulated sca.stats.simulated
+          plain_instrs snap_instrs snap_rate
+          (if same_chain && snap_chain then "identical" else "DIFFERS");
         let open Analysis.Report_json in
         rows :=
           obj
@@ -674,8 +697,18 @@ let causality () =
                int hinted.lifs.stats.static_pruned);
               ("plain_lifs_simulated", float plain.lifs.stats.simulated);
               ("hinted_lifs_simulated", float hinted.lifs.stats.simulated);
+              ("snap_ca_schedules", int sca.stats.schedules);
+              ("snap_ca_simulated", float sca.stats.simulated);
+              ("plain_instrs", int plain_instrs);
+              ("snap_instrs", int snap_instrs);
+              ("plain_sched_per_simsec", float plain_rate);
+              ("snap_sched_per_simsec", float snap_rate);
               ("host_elapsed_s", float host_elapsed);
-              ("chain_identical", bool same_chain) ]
+              ("chain_identical", bool same_chain);
+              ("snap_chain_identical", bool snap_chain);
+              ("snap_reduces_sim",
+               bool (sca.stats.simulated < pca.stats.simulated));
+              ("snap_reduces_instrs", bool (snap_instrs < plain_instrs)) ]
           :: !rows
       | _ -> pr "%-18s not diagnosed@." bug.id)
     (Bugs.Registry.cves @ Bugs.Registry.syzkaller);

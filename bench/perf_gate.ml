@@ -10,7 +10,11 @@
    clock is ignored by default — it measures the CI runner, not the
    code. *)
 
-let default_ignored = [ "host_elapsed_s" ]
+(* Host wall clock measures the CI runner, not the code; the
+   schedules-per-simulated-second rates are higher-is-better, the
+   opposite of the gate's regression direction. *)
+let default_ignored =
+  [ "host_elapsed_s"; "plain_sched_per_simsec"; "snap_sched_per_simsec" ]
 
 let usage () =
   Fmt.epr

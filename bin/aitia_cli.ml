@@ -89,9 +89,22 @@ let resolve ids =
           exit 1)
       ids
 
-let diagnose_bug ?static_hints (bug : Bugs.Bug.t) =
+let diagnose_bug ?static_hints ?snapshot_cache (bug : Bugs.Bug.t) =
   Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
-    ?static_hints (bug.case ())
+    ?static_hints ?snapshot_cache (bug.case ())
+
+let snapshot_cache_flag =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "snapshot-cache" ]
+        ~doc:
+          "Re-execute schedules through the prefix-sharing snapshot \
+           cache: LIFS children resume from their parent's cached \
+           prefix and Causality flips restore the snapshot just before \
+           the flipped race instead of rebooting.  Schedules, verdicts \
+           and chains are bit-identical with or without the cache; only \
+           re-execution is avoided (see the snapshot.* counters under \
+           `stats')")
 
 (* --- list ------------------------------------------------------------- *)
 
@@ -125,10 +138,10 @@ let diagnose_cmd =
                    frontier is visited Unguarded-first and statically \
                    Guarded candidate preemptions are skipped")
   in
-  let run () ids show_flips static_hints =
+  let run () ids show_flips static_hints snapshot_cache =
     List.iter
       (fun bug ->
-        let report = diagnose_bug ~static_hints bug in
+        let report = diagnose_bug ~static_hints ~snapshot_cache bug in
         Fmt.pr "%a@." Aitia.Report.pp report;
         if show_flips then
           match report.causality with
@@ -149,7 +162,8 @@ let diagnose_cmd =
   Cmd.v
     (Cmd.info "diagnose"
        ~doc:"Reproduce a failure and build its causality chain")
-    Term.(const run $ setup_logs $ bug_arg $ flips $ hints)
+    Term.(const run $ setup_logs $ bug_arg $ flips $ hints
+          $ snapshot_cache_flag)
 
 (* --- analyze ---------------------------------------------------------- *)
 
@@ -250,7 +264,7 @@ let stats_cmd =
              ~doc:"Emit one flat metrics JSON object per bug instead of \
                    the table")
   in
-  let run () ids static_hints json =
+  let run () ids static_hints snapshot_cache json =
     List.iter
       (fun (bug : Bugs.Bug.t) ->
         (* A per-bug recorder; tee into the invocation-wide sink (from
@@ -265,7 +279,7 @@ let stats_cmd =
         in
         let report =
           Telemetry.Probe.with_sink sink (fun () ->
-              diagnose_bug ~static_hints bug)
+              diagnose_bug ~static_hints ~snapshot_cache bug)
         in
         if json then
           Fmt.pr "%s@."
@@ -298,7 +312,8 @@ let stats_cmd =
        ~doc:"Diagnose under a telemetry recorder and print the collected \
              metrics: schedule/flip/instruction counters and per-span \
              wall-time rollups")
-    Term.(const run $ setup_logs $ bug_arg $ hints $ json)
+    Term.(const run $ setup_logs $ bug_arg $ hints $ snapshot_cache_flag
+          $ json)
 
 (* --- chain ------------------------------------------------------------ *)
 

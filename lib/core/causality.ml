@@ -47,6 +47,8 @@ type stats = {
   flips_statically_pruned : int;
   elapsed : float;
   simulated : float;
+  executed_instrs : int;  (* instructions executed (snapshot-restored
+                             prefixes excluded) *)
 }
 
 type result = {
@@ -236,9 +238,9 @@ let survived (o : Controller.outcome) =
 
 (* Test one race: build the flip plan, statically prune it when the
    hints prove the re-run redundant, otherwise execute the flip. *)
-let test_one ?max_steps ~prologue ~static_hints (vm : Hypervisor.Vm.t)
-    ~(failing : Controller.outcome) ~(races : Race.t list) (r : Race.t) :
-    tested =
+let test_one ?max_steps ~prologue ~static_hints ?snapshots
+    (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
+    ~(races : Race.t list) (r : Race.t) : tested =
   let plan = flip_plan failing.trace r in
   (* Flip-feasibility pre-analysis (static hints): a flip whose re-run
      provably cannot complete is Benign without execution — the Benign
@@ -262,7 +264,7 @@ let test_one ?max_steps ~prologue ~static_hints (vm : Hypervisor.Vm.t)
       ambiguous = false;
       enforced = false }
   | None ->
-    let run = Executor.run_plan ?max_steps ~prologue vm plan in
+    let run = Executor.run_plan ?max_steps ~prologue ?snapshots vm plan in
     let ok = survived run.outcome in
     let disappeared =
       if not ok then []
@@ -291,11 +293,12 @@ let test_one ?max_steps ~prologue ~static_hints (vm : Hypervisor.Vm.t)
       enforced }
 
 let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
-    (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
+    ?snapshots (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
     ~(races : Race.t list) () : result =
   Telemetry.Probe.span_begin ~cat:"causality" "causality.analyze";
   let t0 = Unix.gettimeofday () in
   let runs_before = Hypervisor.Vm.runs vm in
+  let instrs_before = Hypervisor.Vm.executed_steps vm in
   let ordered = test_order ?direction races in
   (* One span per flip test, closed with the verdict (and the static
      proof when the re-run was pruned). *)
@@ -312,8 +315,8 @@ let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
     List.map
       (fun (r : Race.t) ->
         Telemetry.Probe.span_begin ~cat:"causality" "causality.flip";
-        let t = test_one ?max_steps ~prologue ~static_hints vm ~failing
-            ~races r in
+        let t = test_one ?max_steps ~prologue ~static_hints ?snapshots vm
+            ~failing ~races r in
         (if Telemetry.Probe.installed () then
            Telemetry.Probe.span_end ~args:(flip_args t) ());
         t)
@@ -375,7 +378,8 @@ let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
         List.length
           (List.filter (fun (t : tested) -> t.pruned <> None) tested);
       elapsed = Unix.gettimeofday () -. t0;
-      simulated = Hypervisor.Vm.simulated_seconds vm }
+      simulated = Hypervisor.Vm.simulated_seconds vm;
+      executed_instrs = Hypervisor.Vm.executed_steps vm - instrs_before }
   in
   if Telemetry.Probe.installed () then (
     Telemetry.Probe.count ~by:(List.length tested) "causality.flips";

@@ -32,6 +32,9 @@ type stats = {
           before any VM execution *)
   elapsed : float;
   simulated : float;
+  executed_instrs : int;
+      (** instructions executed, excluding prefixes restored from the
+          snapshot cache *)
 }
 
 type result = {
@@ -69,6 +72,7 @@ val analyze :
   ?prologue:int list ->
   ?direction:[ `Backward | `Forward ] ->
   ?static_hints:bool ->
+  ?snapshots:Hypervisor.Snapshots.t * string ->
   Hypervisor.Vm.t ->
   failing:Hypervisor.Controller.outcome ->
   races:Race.t list ->
@@ -78,4 +82,8 @@ val analyze :
     pre-analysis: flips statically proven infeasible or
     outcome-preserving are marked Benign without a VM run and counted in
     [stats.flips_statically_pruned].  With the default the behaviour is
-    bit-identical to the plain analysis. *)
+    bit-identical to the plain analysis.  [snapshots] is the cache and
+    the preemption key of the reproduced failure run: each flip then
+    restores the snapshot just before its flipped race instead of
+    rebooting and re-executing the shared prefix — verdicts, chains and
+    traces are unchanged. *)

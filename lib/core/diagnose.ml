@@ -62,7 +62,8 @@ let realize (case : case) (slice : Trace.Slicer.t) :
 let empty_lifs_result () : Lifs.result =
   { found = None;
     stats = { schedules = 0; pruned = 0; static_pruned = 0;
-              interleavings = 0; elapsed = 0.; simulated = 0. };
+              interleavings = 0; elapsed = 0.; simulated = 0.;
+              executed_instrs = 0 };
     db = Ksim.Kcov.empty;
     runs = [] }
 
@@ -78,6 +79,7 @@ let hints_of_group (group : Ksim.Program.group) (prologue : int list) :
   Analysis.Summary.hints (Analysis.Candidates.analyze ~serial group)
 
 let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
+    ?(snapshot_cache = false) ?snapshot_budget
     ?(slice_order = `Nearest_first) (case : case) : report =
   Telemetry.Probe.with_span ~cat:"diagnose" "diagnose"
     ~args:[ ("case", case.case_name) ]
@@ -123,17 +125,34 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
             if static_hints then Some (hints_of_group group prologue)
             else None
           in
+          (* One snapshot cache per slice attempt: schedule keys are
+             only meaningful within one realized group, and the LIFS
+             vectors stay warm for Causality Analysis below. *)
+          let snapshots =
+            if snapshot_cache then
+              Some
+                (Hypervisor.Snapshots.create ?budget_bytes:snapshot_budget ())
+            else None
+          in
           let lifs =
             Lifs.search ?max_interleavings ?max_steps ~prologue
-              ?static_hints:hints lifs_vm ~target ()
+              ?static_hints:hints ?snapshots lifs_vm ~target ()
           in
           match lifs.found with
           | None -> Error lifs
           | Some success ->
             let ca_vm = Hypervisor.Vm.create group in
+            let ca_snapshots =
+              Option.map
+                (fun cache ->
+                  ( cache,
+                    Hypervisor.Schedule.preemption_key success.schedule ))
+                snapshots
+            in
             let ca =
-              Causality.analyze ?max_steps ~prologue ~static_hints ca_vm
-                ~failing:success.outcome ~races:success.races ()
+              Causality.analyze ?max_steps ~prologue ~static_hints
+                ?snapshots:ca_snapshots ca_vm ~failing:success.outcome
+                ~races:success.races ()
             in
             let chain = Chain.of_causality ca ~failure:success.failure in
             let metrics =

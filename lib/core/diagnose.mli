@@ -45,6 +45,8 @@ val diagnose :
   ?max_interleavings:int ->
   ?max_steps:int ->
   ?static_hints:bool ->
+  ?snapshot_cache:bool ->
+  ?snapshot_budget:int ->
   ?slice_order:[ `Nearest_first | `Farthest_first ] ->
   case ->
   report
@@ -56,4 +58,10 @@ val diagnose :
     preemptions are skipped, and enables the {!Analysis.Flipfeas}
     pre-analysis in {!Causality.analyze} so provably infeasible or
     outcome-preserving flips are skipped before any VM execution;
-    disabled, the pipeline is identical to the hint-free behaviour. *)
+    disabled, the pipeline is identical to the hint-free behaviour.
+    [snapshot_cache] (default [false]) gives each slice attempt a
+    prefix-sharing snapshot cache (budget [snapshot_budget] bytes,
+    estimated): LIFS children resume from their parent's cached prefix
+    and every Causality flip restores the snapshot just before its
+    flipped race instead of rebooting — all schedules, verdicts and
+    chains are bit-identical with the cache on or off. *)

@@ -21,24 +21,79 @@ let with_prologue (prologue : int list) (policy : Hypervisor.Controller.policy)
   in
   pick prologue
 
-let run_preemption ?max_steps ?(prologue = []) (vm : Hypervisor.Vm.t)
-    (sched : Hypervisor.Schedule.preemption) : run =
+(* Capture a snapshot after every executed step: the machine plus the
+   enforcement policy's dumped state, newest first. *)
+let capture dump snaps_rev : Hypervisor.Controller.observer =
+ fun m trace_rev steps ->
+  let queue, pending = dump () in
+  snaps_rev :=
+    { Hypervisor.Snapshots.machine = m; trace_rev; steps; queue; pending }
+    :: !snaps_rev
+
+let run_preemption ?max_steps ?(prologue = []) ?snapshots
+    (vm : Hypervisor.Vm.t) (sched : Hypervisor.Schedule.preemption) : run =
   Telemetry.Probe.with_span ~cat:"executor" "executor.preemption"
   @@ fun () ->
   Telemetry.Probe.count "executor.preemption_runs";
-  let policy =
-    with_prologue prologue (Hypervisor.Schedule.preemption_policy sched)
-  in
-  let outcome = Hypervisor.Vm.run ?max_steps vm policy in
-  { schedule_kind = `Preemption; outcome }
+  match snapshots with
+  | Some cache when Hypervisor.Snapshots.enabled cache ->
+    let key = Hypervisor.Schedule.preemption_key sched in
+    let snaps_rev = ref [] in
+    let outcome, base =
+      match Hypervisor.Snapshots.find_preemption cache sched with
+      | Some hit ->
+        let policy, dump =
+          Hypervisor.Schedule.resume_policy ~queue:hit.resume_queue
+            ~switches:hit.resume_switches
+        in
+        let policy = with_prologue prologue policy in
+        ( Hypervisor.Vm.resume ?max_steps ~observe:(capture dump snaps_rev)
+            vm hit.start policy,
+          hit.base )
+      | None ->
+        let policy, dump =
+          Hypervisor.Schedule.preemption_policy_tracked sched
+        in
+        let policy = with_prologue prologue policy in
+        ( Hypervisor.Vm.run ?max_steps ~observe:(capture dump snaps_rev) vm
+            policy,
+          [||] )
+    in
+    Hypervisor.Snapshots.store cache ~key ~base ~suffix_rev:!snaps_rev;
+    { schedule_kind = `Preemption; outcome }
+  | Some _ | None ->
+    let policy =
+      with_prologue prologue (Hypervisor.Schedule.preemption_policy sched)
+    in
+    let outcome = Hypervisor.Vm.run ?max_steps vm policy in
+    { schedule_kind = `Preemption; outcome }
 
-let run_plan ?max_steps ?(prologue = []) (vm : Hypervisor.Vm.t)
+(* Plan runs (Causality Analysis flips) only look snapshots up — each
+   flip is executed once, so caching its own suffix buys nothing; the
+   payoff is restoring the failure run's prefix under [key] instead of
+   rebooting. *)
+let run_plan ?max_steps ?(prologue = []) ?snapshots (vm : Hypervisor.Vm.t)
     (plan : Hypervisor.Schedule.plan) : run =
   Telemetry.Probe.with_span ~cat:"executor" "executor.plan" @@ fun () ->
   Telemetry.Probe.count "executor.plan_runs";
-  let policy = with_prologue prologue (Hypervisor.Schedule.plan_policy plan) in
-  let outcome = Hypervisor.Vm.run ?max_steps vm policy in
-  { schedule_kind = `Plan; outcome }
+  let fresh () =
+    let policy =
+      with_prologue prologue (Hypervisor.Schedule.plan_policy plan)
+    in
+    let outcome = Hypervisor.Vm.run ?max_steps vm policy in
+    { schedule_kind = `Plan; outcome }
+  in
+  match snapshots with
+  | Some (cache, key) when Hypervisor.Snapshots.enabled cache -> (
+    match Hypervisor.Snapshots.find_plan cache ~key plan with
+    | Some hit ->
+      let policy =
+        with_prologue prologue (Hypervisor.Schedule.plan_policy hit.suffix)
+      in
+      let outcome = Hypervisor.Vm.resume ?max_steps vm hit.plan_start policy in
+      { schedule_kind = `Plan; outcome }
+    | None -> fresh ())
+  | Some _ | None -> fresh ()
 
 (* Update the cross-run access database from a run, keyed by stable
    thread base names. *)

@@ -12,12 +12,22 @@ val with_prologue :
     the policy takes over. *)
 
 val run_preemption :
-  ?max_steps:int -> ?prologue:int list -> Hypervisor.Vm.t ->
+  ?max_steps:int -> ?prologue:int list ->
+  ?snapshots:Hypervisor.Snapshots.t -> Hypervisor.Vm.t ->
   Hypervisor.Schedule.preemption -> run
+(** With [snapshots], the run restores the longest cached prefix of the
+    schedule and executes only the suffix, then stores its own snapshot
+    vector for future children.  The outcome is bit-identical to a
+    fresh run either way. *)
 
 val run_plan :
-  ?max_steps:int -> ?prologue:int list -> Hypervisor.Vm.t ->
+  ?max_steps:int -> ?prologue:int list ->
+  ?snapshots:Hypervisor.Snapshots.t * string -> Hypervisor.Vm.t ->
   Hypervisor.Schedule.plan -> run
+(** With [(cache, key)], the plan resumes from the cached run stored
+    under [key] (for Causality Analysis: the reproduced failure run)
+    at the longest matching prefix, instead of rebooting.  Lookup only
+    — flip runs are executed once and not themselves cached. *)
 
 val learn : Ksim.Kcov.db -> run -> Ksim.Kcov.db
 (** Fold the run's accesses into the cross-run database, keyed by stable

@@ -32,6 +32,8 @@ type stats = {
   interleavings : int;    (* interleaving count of the failing schedule *)
   elapsed : float;        (* host wall-clock seconds *)
   simulated : float;      (* modeled guest seconds (Vm cost model) *)
+  executed_instrs : int;  (* instructions executed (restored prefixes
+                             via the snapshot cache excluded) *)
 }
 
 type success = {
@@ -209,8 +211,8 @@ let signature (sched : Schedule.preemption) = Schedule.preemption_key sched
    ablation of DESIGN.md §5.2 measures how many more schedules the
    search runs without it. *)
 let search ?(max_interleavings = default_max_interleavings) ?max_steps
-    ?(prologue = []) ?(prune = true) ?static_hints (vm : Hypervisor.Vm.t)
-    ~(target : Ksim.Failure.t -> bool) () : result =
+    ?(prologue = []) ?(prune = true) ?static_hints ?snapshots
+    (vm : Hypervisor.Vm.t) ~(target : Ksim.Failure.t -> bool) () : result =
   Telemetry.Probe.span_begin ~cat:"lifs" "lifs.search";
   let t0 = Unix.gettimeofday () in
   let group = Hypervisor.Vm.group vm in
@@ -225,6 +227,7 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
   let static_pruned = ref 0 in
   let executed = ref [] in  (* (sched, outcome) newest first *)
   let runs_before = Hypervisor.Vm.runs vm in
+  let instrs_before = Hypervisor.Vm.executed_steps vm in
   let finish found interleavings =
     let elapsed = Unix.gettimeofday () -. t0 in
     let stats =
@@ -233,7 +236,8 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
         static_pruned = !static_pruned;
         interleavings;
         elapsed;
-        simulated = Hypervisor.Vm.simulated_seconds vm }
+        simulated = Hypervisor.Vm.simulated_seconds vm;
+        executed_instrs = Hypervisor.Vm.executed_steps vm - instrs_before }
     in
     if Telemetry.Probe.installed () then (
       Telemetry.Probe.count ~by:stats.schedules "lifs.schedules";
@@ -250,7 +254,7 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
     { found; stats; db = !db; runs = List.rev !executed }
   in
   let run_sched (sched : Schedule.preemption) =
-    let r = Executor.run_preemption ?max_steps ~prologue vm sched in
+    let r = Executor.run_preemption ?max_steps ~prologue ?snapshots vm sched in
     db := Executor.learn !db r;
     executed := (sched, r.outcome) :: !executed;
     r

@@ -11,6 +11,9 @@ type stats = {
   interleavings : int;  (** interleaving count of the failing schedule *)
   elapsed : float;      (** host wall-clock seconds *)
   simulated : float;    (** modeled guest seconds (Vm cost model) *)
+  executed_instrs : int;
+      (** instructions executed, excluding prefixes restored from the
+          snapshot cache *)
 }
 
 type success = {
@@ -39,6 +42,7 @@ val search :
   ?prologue:int list ->
   ?prune:bool ->
   ?static_hints:Analysis.Summary.hints ->
+  ?snapshots:Hypervisor.Snapshots.t ->
   Hypervisor.Vm.t ->
   target:(Ksim.Failure.t -> bool) ->
   unit ->
@@ -49,4 +53,7 @@ val search :
     frontier Unguarded-first and drops candidate preemptions whose every
     conflicting target pair is statically Guarded (counted in
     [static_pruned]); omitting it leaves the search bit-identical to the
-    hint-free behaviour. *)
+    hint-free behaviour.  [snapshots] lets frontier expansion resume
+    each child schedule from its parent's cached prefix — the explored
+    schedule set and every outcome are unchanged, only re-execution is
+    avoided. *)

@@ -27,6 +27,22 @@ let is_failure o = match o.verdict with Failed _ -> true | _ -> false
    [None] to give up (treated as deadlock if threads remain). *)
 type policy = Ksim.Machine.t -> int list -> int option
 
+(* An observer sees every successfully executed step: the machine after
+   the step, the trace so far in reverse order, and the step count.  The
+   snapshot cache uses it to capture prefix states as they are produced;
+   when absent the loop is unchanged. *)
+type observer = Ksim.Machine.t -> Ksim.Machine.event list -> int -> unit
+
+(* A resumable position inside a run: the machine after [start_steps]
+   steps together with the reversed trace that produced it.  Resuming
+   from a start is bit-identical to re-executing the prefix because the
+   machine is a persistent value — the start IS the mid-run state. *)
+type start = {
+  start_machine : Ksim.Machine.t;
+  start_trace_rev : Ksim.Machine.event list;
+  start_steps : int;
+}
+
 let default_max_steps = 200_000
 
 (* A hardware interrupt handler that has started, among the runnable
@@ -62,8 +78,8 @@ let context_switches (trace : Ksim.Machine.event list) =
   go None 0 trace
 
 (* Run [m] under [policy] until completion, failure, deadlock or the step
-   watchdog. *)
-let run_raw ?(max_steps = default_max_steps) (m : Ksim.Machine.t)
+   watchdog, starting from an arbitrary resumable position. *)
+let run_from ?(max_steps = default_max_steps) ?observe (start : start)
     (policy : policy) : outcome =
   let rec loop m acc steps =
     if steps >= max_steps then
@@ -97,7 +113,13 @@ let run_raw ?(max_steps = default_max_steps) (m : Ksim.Machine.t)
                 { verdict = Deadlock; trace = List.rev acc; final = m; steps })
           | Some tid -> (
             match Ksim.Machine.step m tid with
-            | Ok (m, ev) -> loop m (ev :: acc) (steps + 1)
+            | Ok (m, ev) ->
+              let acc = ev :: acc in
+              let steps = steps + 1 in
+              (match observe with
+              | Some f -> f m acc steps
+              | None -> ());
+              loop m acc steps
             | Error (Ksim.Machine.Blocked_on_lock _) ->
               (* The policy picked a blocked thread; treat as deadlock
                  rather than spinning — policies are expected to consult
@@ -111,15 +133,21 @@ let run_raw ?(max_steps = default_max_steps) (m : Ksim.Machine.t)
                 { verdict = Failed f; trace = List.rev acc; final = m; steps }
               | None -> assert false))))
   in
-  loop m [] 0
+  loop start.start_machine start.start_trace_rev start.start_steps
+
+let run_raw ?max_steps ?observe (m : Ksim.Machine.t) (policy : policy) :
+    outcome =
+  run_from ?max_steps ?observe
+    { start_machine = m; start_trace_rev = []; start_steps = 0 }
+    policy
 
 (* The instrumented entry point: one span per enforced schedule, plus
    the step-loop counters (instructions stepped, context switches —
    our breakpoint hits).  The counters are derived after the run from
    local state, so the disabled path costs one ref read. *)
-let run ?max_steps (m : Ksim.Machine.t) (policy : policy) : outcome =
+let run ?max_steps ?observe (m : Ksim.Machine.t) (policy : policy) : outcome =
   Telemetry.Probe.span_begin ~cat:"hypervisor" "controller.run";
-  let o = run_raw ?max_steps m policy in
+  let o = run_raw ?max_steps ?observe m policy in
   if Telemetry.Probe.installed () then (
     Telemetry.Probe.count "controller.runs";
     Telemetry.Probe.count ~by:o.steps "controller.instructions";
@@ -130,6 +158,25 @@ let run ?max_steps (m : Ksim.Machine.t) (policy : policy) : outcome =
     Telemetry.Probe.span_end
       ~args:
         [ ("verdict", verdict_name o.verdict);
+          ("steps", string_of_int o.steps) ]
+      ());
+  o
+
+(* A resumed run executes only the suffix beyond [start]: the span and
+   instruction counter cover the divergent steps, never the restored
+   prefix — that is the saving the snapshot cache exists to make. *)
+let resume ?max_steps ?observe (start : start) (policy : policy) : outcome =
+  Telemetry.Probe.span_begin ~cat:"hypervisor" "controller.resume";
+  let o = run_from ?max_steps ?observe start policy in
+  if Telemetry.Probe.installed () then (
+    Telemetry.Probe.count "controller.resumed_runs";
+    Telemetry.Probe.count ~by:(o.steps - start.start_steps)
+      "controller.instructions";
+    Telemetry.Probe.count ("controller.verdict." ^ verdict_name o.verdict);
+    Telemetry.Probe.span_end
+      ~args:
+        [ ("verdict", verdict_name o.verdict);
+          ("prefix_steps", string_of_int start.start_steps);
           ("steps", string_of_int o.steps) ]
       ());
   o

@@ -25,6 +25,21 @@ type policy = Ksim.Machine.t -> int list -> int option
 (** A policy sees the machine and the runnable set and picks a thread;
     [None] gives up (deadlock if threads remain). *)
 
+type observer = Ksim.Machine.t -> Ksim.Machine.event list -> int -> unit
+(** Called after every successfully executed step with the machine
+    after the step, the trace so far in {e reverse} order, and the step
+    count.  The snapshot cache captures prefix states through this; when
+    absent the loop is unchanged. *)
+
+type start = {
+  start_machine : Ksim.Machine.t;
+  start_trace_rev : Ksim.Machine.event list;  (** reversed prefix trace *)
+  start_steps : int;
+}
+(** A resumable mid-run position.  The machine is persistent, so a start
+    IS the state after its prefix — resuming is bit-identical to
+    re-executing the prefix from a fresh boot. *)
+
 val default_max_steps : int
 
 val irq_in_progress : Ksim.Machine.t -> int list -> int option
@@ -33,11 +48,18 @@ val irq_in_progress : Ksim.Machine.t -> int list -> int option
     threads on other CPUs (the paper's §4.6 bug class); policies modeling
     a single-CPU guest can use this to run it to completion. *)
 
-val run : ?max_steps:int -> Ksim.Machine.t -> policy -> outcome
+val run :
+  ?max_steps:int -> ?observe:observer -> Ksim.Machine.t -> policy -> outcome
 (** Runs under a [controller.run] telemetry span with step-loop
     counters (instructions stepped, context switches); when no sink is
     installed the instrumentation is a no-op and the outcome is
     bit-identical. *)
+
+val resume : ?max_steps:int -> ?observe:observer -> start -> policy -> outcome
+(** Continue a run from a restored snapshot position.  The outcome's
+    trace and step count cover the whole run (prefix + suffix), exactly
+    as [run] would report, but only the suffix instructions execute —
+    the telemetry instruction counter reflects the suffix alone. *)
 
 val context_switches : Ksim.Machine.event list -> int
 (** Context switches of a trace — the scheduling analogue of the

@@ -51,10 +51,19 @@ let preemption_key p =
 (* The run queue: head is the active thread.  Spawned threads are
    inserted immediately after their spawner, modeling kworkerd/RCU work
    that becomes runnable as soon as it is queued.  The active thread runs
-   until it finishes, blocks, or hits a scheduling point. *)
-let preemption_policy (p : preemption) : Controller.policy =
-  let queue = ref p.order in
-  let pending = ref p.switches in
+   until it finishes, blocks, or hits a scheduling point.
+
+   [queue_policy] is the general form: it starts from an arbitrary run
+   queue (a fresh schedule's [order], or a queue dumped from a snapshot)
+   and exposes the live queue through the returned dump function so the
+   snapshot cache can capture it alongside each machine state.  The
+   queue only mutates inside policy calls, so a dump taken right after
+   the call that decided step [k] is exactly the queue the next call
+   would start from. *)
+let queue_policy ~(queue : int list) ~(switches : switch list) :
+    Controller.policy * (unit -> int list * switch list) =
+  let queue = ref queue in
+  let pending = ref switches in
   (* Insert a freshly spawned thread after its spawner — and after any
      earlier-spawned siblings already queued there, so deferred work
      keeps its FIFO order. *)
@@ -73,7 +82,7 @@ let preemption_policy (p : preemption) : Controller.policy =
     go q
   in
   let to_front tid q = tid :: List.filter (fun x -> x <> tid) q in
-  fun m runnable ->
+  let policy m runnable =
     (* Fold spawn and switch effects of the previous step lazily: we
        inspect the machine to learn about new threads. *)
     let known = !queue in
@@ -104,6 +113,20 @@ let preemption_policy (p : preemption) : Controller.policy =
         if List.mem t runnable then Some t else first rest
     in
     first !queue
+  in
+  (policy, fun () -> (!queue, !pending))
+
+let preemption_policy (p : preemption) : Controller.policy =
+  fst (queue_policy ~queue:p.order ~switches:p.switches)
+
+let preemption_policy_tracked (p : preemption) =
+  queue_policy ~queue:p.order ~switches:p.switches
+
+(* Resume from a snapshot: start from the dumped run queue with the
+   not-yet-consumed switches still pending.  The snapshot cache arranges
+   that exactly the suffix switches are passed, so the policy behaves
+   bit-identically to the fresh policy from that position onward. *)
+let resume_policy ~queue ~switches = queue_policy ~queue ~switches
 
 (* --- plan schedules --------------------------------------------------- *)
 
@@ -113,6 +136,18 @@ type plan = {
 }
 
 let plan ?(run_through_budget = 2_000) events = { events; run_through_budget }
+
+(* The suffix of a plan after its first [n] events — what remains to be
+   enforced once a snapshot restored the state those events produced.
+   Along a matched prefix the policy resets its run-through budget at
+   every event, so a fresh policy over the suffix plan is state-identical
+   to the original policy after [n] matches. *)
+let plan_drop (p : plan) n =
+  let rec drop n l = if n <= 0 then l else match l with
+    | [] -> []
+    | _ :: rest -> drop (n - 1) rest
+  in
+  { p with events = drop n p.events }
 
 let pp_plan ppf p =
   Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any " => ") Iid.pp_full) p.events

@@ -39,6 +39,24 @@ val preemption_policy : preemption -> Controller.policy
     spawner; the active thread runs until it finishes, blocks or hits a
     scheduling point. *)
 
+val preemption_policy_tracked :
+  preemption -> Controller.policy * (unit -> int list * switch list)
+(** [preemption_policy] plus a dump of the live run queue and the
+    not-yet-consumed switches.  Policy state only mutates inside policy
+    calls, so a dump taken right after the call that decided step [k]
+    is exactly the state the next call starts from — the invariant the
+    snapshot cache captures. *)
+
+val resume_policy :
+  queue:int list ->
+  switches:switch list ->
+  Controller.policy * (unit -> int list * switch list)
+(** The policy to continue a run restored from a snapshot: the dumped
+    run queue with only the not-yet-consumed switches pending, plus the
+    same state dump as {!preemption_policy_tracked} so the resumed run
+    can itself be captured.  Bit-identical to the fresh policy from
+    that position onward. *)
+
 type plan = {
   events : Iid.t list;       (** the total order to enforce *)
   run_through_budget : int;  (** divergence tolerance per planned event *)
@@ -46,6 +64,10 @@ type plan = {
 
 val plan : ?run_through_budget:int -> Iid.t list -> plan
 val pp_plan : plan Fmt.t
+
+val plan_drop : plan -> int -> plan
+(** The suffix plan after the first [n] events — what remains to be
+    enforced once a snapshot restored the state they produced. *)
 
 val plan_policy : plan -> Controller.policy
 

@@ -1,0 +1,265 @@
+(* Prefix-sharing snapshot cache (our analogue of AITIA's VM snapshot
+   tree).
+
+   The machine is a persistent value, so a "snapshot" is just keeping
+   the machine reached after each step of a run — copy-on-write through
+   the persistent maps, no deep copy.  A run's snapshots form one
+   vector, keyed by the schedule that produced it; because consecutive
+   schedules explored by LIFS differ by one appended switch, the vector
+   of a schedule IS the snapshot tree path shared with all its children:
+   a child run restores the parent's snapshot at its divergence point
+   and executes only the suffix.  Causality Analysis flip plans likewise
+   share a long prefix with the failure trace they permute, so each flip
+   restores the snapshot just before the flipped race instead of
+   rebooting.
+
+   Soundness rests on two invariants, both checked at lookup time:
+
+   - {e policy-state capture}: a snapshot stores not just the machine
+     but the enforcement policy's run queue and not-yet-consumed
+     switches, dumped right after the decision that produced the step.
+     A preemption hit requires the pending list at the divergence point
+     to be empty — every parent switch already consumed — so resuming
+     with exactly the child's new switch pending is bit-identical to a
+     fresh run (schedules whose switches fire out of order simply miss
+     and fall back to a full run).
+
+   - {e poisoning}: a failing run's final snapshot carries the failure
+     verdict; restoring it would skip the failure manifestation path.
+     Lookups never return a failed snapshot — [healthy] caps how deep a
+     prefix may be reused, so the faulting step itself always
+     re-executes. *)
+
+module Iid = Ksim.Access.Iid
+
+type snap = {
+  machine : Ksim.Machine.t;
+  trace_rev : Ksim.Machine.event list;  (* events 1..steps, reversed *)
+  steps : int;
+  queue : int list;                     (* policy run queue after the step *)
+  pending : Schedule.switch list;       (* switches not yet consumed *)
+}
+
+type vector = {
+  snaps : snap array;  (* snaps.(k) = position after k+1 steps *)
+  iids : Iid.t array;  (* iids.(k) = the (k+1)-th executed instruction *)
+  healthy : int;       (* leading snaps whose machine has not failed *)
+  bytes : int;         (* estimated footprint, for the LRU budget *)
+  mutable tick : int;  (* LRU recency stamp *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable restored_instrs : int;  (* prefix instructions not re-executed *)
+}
+
+type t = {
+  budget_bytes : int;
+  tbl : (string, vector) Hashtbl.t;
+  mutable total_bytes : int;
+  mutable clock : int;
+  stats : stats;
+}
+
+let default_budget_bytes = 512 * 1024 * 1024
+
+let create ?(budget_bytes = default_budget_bytes) () =
+  { budget_bytes;
+    tbl = Hashtbl.create 256;
+    total_bytes = 0;
+    clock = 0;
+    stats = { hits = 0; misses = 0; evictions = 0; restored_instrs = 0 } }
+
+(* A zero (or negative) budget disables the cache entirely: callers take
+   the plain reboot path and behaviour is bit-identical to no cache. *)
+let enabled t = t.budget_bytes > 0
+
+let hits t = t.stats.hits
+let misses t = t.stats.misses
+let evictions t = t.stats.evictions
+let restored_instrs t = t.stats.restored_instrs
+let cached_vectors t = Hashtbl.length t.tbl
+let cached_bytes t = t.total_bytes
+
+(* Rough per-vector footprint: the persistent maps share structure
+   between consecutive snapshots, so the marginal cost of a snapshot is
+   the handful of map spine nodes the step rewrote — modeled as a flat
+   per-step estimate plus a fixed overhead.  The budget bounds this
+   estimate, not exact bytes. *)
+let estimate_bytes n_snaps = 1024 + (256 * n_snaps)
+
+let touch t v =
+  t.clock <- t.clock + 1;
+  v.tick <- t.clock
+
+let lookup t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    Telemetry.Probe.count "snapshot.misses";
+    None
+  | Some v ->
+    touch t v;
+    Some v
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key v acc ->
+        match acc with
+        | Some (_, best) when best.tick <= v.tick -> acc
+        | _ -> Some (key, v))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, v) ->
+    Hashtbl.remove t.tbl key;
+    t.total_bytes <- t.total_bytes - v.bytes;
+    t.stats.evictions <- t.stats.evictions + 1;
+    Telemetry.Probe.count "snapshot.evictions"
+
+(* Store the snapshot vector of a completed preemption run.  [base] is
+   the shared prefix inherited from the parent vector when the run was
+   itself resumed (empty for a full run); [suffix_rev] is what the
+   controller observer captured, newest first. *)
+let store t ~key ~(base : snap array) ~(suffix_rev : snap list) =
+  if enabled t && not (Hashtbl.mem t.tbl key) then (
+    let snaps =
+      Array.append base (Array.of_list (List.rev suffix_rev))
+    in
+    if Array.length snaps > 0 then (
+      let iids =
+        Array.map
+          (fun s ->
+            match s.trace_rev with
+            | e :: _ -> e.Ksim.Machine.iid
+            | [] -> assert false (* a snap always follows >= 1 step *))
+          snaps
+      in
+      let healthy = ref (Array.length snaps) in
+      Array.iteri
+        (fun k s ->
+          if !healthy = Array.length snaps
+             && Ksim.Machine.failed s.machine <> None
+          then healthy := k)
+        snaps;
+      let bytes = estimate_bytes (Array.length snaps) in
+      let v = { snaps; iids; healthy = !healthy; bytes; tick = 0 } in
+      touch t v;
+      Hashtbl.replace t.tbl key v;
+      t.total_bytes <- t.total_bytes + bytes;
+      while t.total_bytes > t.budget_bytes && Hashtbl.length t.tbl > 0 do
+        evict_lru t
+      done))
+
+(* --- preemption lookups ----------------------------------------------- *)
+
+type preemption_hit = {
+  start : Controller.start;
+  resume_queue : int list;
+  resume_switches : Schedule.switch list;
+  base : snap array;  (* adjusted prefix snaps for re-capture *)
+}
+
+let start_of_snap (s : snap) : Controller.start =
+  { Controller.start_machine = s.machine;
+    start_trace_rev = s.trace_rev;
+    start_steps = s.steps }
+
+let index_of_iid (iids : Iid.t array) (iid : Iid.t) =
+  let n = Array.length iids in
+  let rec go k =
+    if k >= n then None
+    else if Iid.equal iids.(k) iid then Some k
+    else go (k + 1)
+  in
+  go 0
+
+let hit t (s : snap) =
+  t.stats.hits <- t.stats.hits + 1;
+  t.stats.restored_instrs <- t.stats.restored_instrs + s.steps;
+  if Telemetry.Probe.installed () then (
+    Telemetry.Probe.count "snapshot.hits";
+    Telemetry.Probe.count ~by:s.steps "snapshot.restored_instrs")
+
+(* The longest reusable prefix of a preemption schedule: the run of the
+   same schedule minus its last switch, restored just after the step
+   that triggers that switch. *)
+let find_preemption t (sched : Schedule.preemption) : preemption_hit option =
+  if not (enabled t) then None
+  else
+    match List.rev sched.Schedule.switches with
+    | [] -> None (* a serial schedule has no parent prefix *)
+    | last :: parent_rev -> (
+      let parent =
+        { sched with Schedule.switches = List.rev parent_rev }
+      in
+      match lookup t (Schedule.preemption_key parent) with
+      | None -> None
+      | Some v -> (
+        match index_of_iid v.iids last.Schedule.after with
+        | None ->
+          (* the trigger never executed in the parent run *)
+          None
+        | Some i ->
+          let s = v.snaps.(i) in
+          if i >= v.healthy || s.pending <> [] then
+            (* poisoned snapshot, or parent switches not all consumed
+               by the divergence point: fall back to a full run *)
+            None
+          else (
+            hit t s;
+            (* For re-capture by the resumed run: the child's pending
+               list at each prefix position is the parent's plus the
+               new switch, still unconsumed there. *)
+            let base =
+              Array.map
+                (fun (b : snap) ->
+                  { b with pending = b.pending @ [ last ] })
+                (Array.sub v.snaps 0 (i + 1))
+            in
+            Some
+              { start = start_of_snap s;
+                resume_queue = s.queue;
+                resume_switches = [ last ];
+                base })))
+
+(* --- plan lookups ------------------------------------------------------ *)
+
+type plan_hit = {
+  plan_start : Controller.start;
+  suffix : Schedule.plan;
+  matched : int;  (* plan events satisfied by the restored prefix *)
+}
+
+(* The longest prefix of the plan that coincides with the stored run
+   under [key] (for Causality Analysis: the failure run being
+   permuted).  Along such a prefix the plan policy matches every event
+   immediately, so restoring the snapshot and enforcing only the suffix
+   plan is bit-identical to a fresh run. *)
+let find_plan t ~key (plan : Schedule.plan) : plan_hit option =
+  if not (enabled t) then None
+  else
+    match lookup t key with
+    | None -> None
+    | Some v ->
+      let rec matched k = function
+        | ev :: rest
+          when k < v.healthy
+               && k < Array.length v.iids
+               && Iid.equal v.iids.(k) ev ->
+          matched (k + 1) rest
+        | _ -> k
+      in
+      let l = matched 0 plan.Schedule.events in
+      if l = 0 then None
+      else (
+        let s = v.snaps.(l - 1) in
+        hit t s;
+        Some
+          { plan_start = start_of_snap s;
+            suffix = Schedule.plan_drop plan l;
+            matched = l })

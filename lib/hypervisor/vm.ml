@@ -11,18 +11,26 @@
 type cost_model = {
   per_schedule : float;  (* seconds per enforced schedule (VM run) *)
   per_reboot : float;    (* extra seconds when a run ends in a failure *)
+  per_restore : float;   (* seconds to restore a mid-run snapshot *)
 }
 
 (* Calibrated from Table 2: LIFS runs ~0.08 s/schedule; CA schedules that
-   fail add a reboot on the order of a second. *)
-let default_costs = { per_schedule = 0.083; per_reboot = 1.25 }
+   fail add a reboot on the order of a second.  A mid-run snapshot
+   restore is a memory revert, far cheaper than either. *)
+let default_costs =
+  { per_schedule = 0.083; per_reboot = 1.25; per_restore = 0.004 }
 
 type stats = {
   mutable runs : int;
   mutable failures : int;
   mutable deadlocks : int;
-  mutable steps : int;
-  mutable reverts : int;  (* snapshot restores (non-failing runs) *)
+  mutable steps : int;       (* trace steps, restored prefixes included *)
+  mutable reverts : int;     (* snapshot restores (non-failing runs) *)
+  mutable executed : int;    (* instructions actually executed *)
+  mutable saved_steps : int; (* prefix instructions restored, not run *)
+  mutable resumes : int;     (* runs resumed from a mid-run snapshot *)
+  mutable sim_saved : float; (* modeled seconds saved by resuming *)
+  mutable last_run_failed : bool;
 }
 
 type t = {
@@ -33,7 +41,10 @@ type t = {
 
 let create ?(costs = default_costs) group =
   { group; costs;
-    stats = { runs = 0; failures = 0; deadlocks = 0; steps = 0; reverts = 0 } }
+    stats =
+      { runs = 0; failures = 0; deadlocks = 0; steps = 0; reverts = 0;
+        executed = 0; saved_steps = 0; resumes = 0; sim_saved = 0.;
+        last_run_failed = false } }
 
 let group t = t.group
 
@@ -44,34 +55,66 @@ let boot t =
   Telemetry.Probe.count "vm.snapshot_restores";
   Ksim.Machine.create t.group
 
-let record t (o : Controller.outcome) =
+let record t ~executed (o : Controller.outcome) =
   t.stats.runs <- t.stats.runs + 1;
   t.stats.steps <- t.stats.steps + o.steps;
+  t.stats.executed <- t.stats.executed + executed;
   Telemetry.Probe.count "vm.runs";
   (match o.verdict with
   | Controller.Failed _ ->
     t.stats.failures <- t.stats.failures + 1;
+    t.stats.last_run_failed <- true;
     (* A failing run forces a guest reboot — the dominant CA cost. *)
     Telemetry.Probe.count "vm.reboots"
   | Controller.Deadlock | Controller.Step_limit ->
-    t.stats.deadlocks <- t.stats.deadlocks + 1
-  | Controller.Completed -> ())
+    t.stats.deadlocks <- t.stats.deadlocks + 1;
+    t.stats.last_run_failed <- false
+  | Controller.Completed -> t.stats.last_run_failed <- false)
 
 (* Run one schedule on a fresh guest. *)
-let run ?max_steps t policy =
+let run ?max_steps ?observe t policy =
   let m = boot t in
-  let o = Controller.run ?max_steps m policy in
-  record t o;
+  let o = Controller.run ?max_steps ?observe m policy in
+  record t ~executed:o.steps o;
+  o
+
+(* Continue a schedule from a restored mid-run snapshot: only the suffix
+   beyond [start] executes.  In cost-model terms the restore replaces
+   the fresh boot (and, when the previous run on this guest failed, the
+   reboot that recovery would have required) — the savings accumulate in
+   [sim_saved] so that with the cache disabled the accounting is
+   bit-identical to before. *)
+let resume ?max_steps ?observe t (start : Controller.start) policy =
+  t.stats.resumes <- t.stats.resumes + 1;
+  t.stats.saved_steps <- t.stats.saved_steps + start.Controller.start_steps;
+  if t.stats.last_run_failed then
+    t.stats.sim_saved <- t.stats.sim_saved +. t.costs.per_reboot;
+  Telemetry.Probe.count "vm.resumes";
+  let o = Controller.resume ?max_steps ?observe start policy in
+  let prefix = start.Controller.start_steps in
+  (if o.steps > 0 then
+     let share =
+       t.costs.per_schedule *. float_of_int prefix /. float_of_int o.steps
+     in
+     t.stats.sim_saved <-
+       t.stats.sim_saved +. Float.max 0. (share -. t.costs.per_restore));
+  record t ~executed:(o.steps - prefix) o;
   o
 
 let runs t = t.stats.runs
 let failures t = t.stats.failures
 let total_steps t = t.stats.steps
+let executed_steps t = t.stats.executed
+let saved_steps t = t.stats.saved_steps
+let resumes t = t.stats.resumes
 
 (* Simulated wall-clock seconds under the cost model. *)
 let simulated_seconds t =
   (float_of_int t.stats.runs *. t.costs.per_schedule)
   +. (float_of_int t.stats.failures *. t.costs.per_reboot)
+  -. t.stats.sim_saved
+
+let simulated_saved t = t.stats.sim_saved
 
 let pp_stats ppf t =
   Fmt.pf ppf "runs=%d failures=%d deadlocks=%d steps=%d sim=%.1fs"

@@ -9,10 +9,13 @@
 type cost_model = {
   per_schedule : float;  (** seconds per enforced schedule *)
   per_reboot : float;    (** extra seconds when a run fails *)
+  per_restore : float;   (** seconds to restore a mid-run snapshot *)
 }
 
 val default_costs : cost_model
-(** Calibrated from Table 2's per-schedule rates. *)
+(** Calibrated from Table 2's per-schedule rates; a mid-run snapshot
+    restore is a memory revert, far cheaper than a schedule or a
+    reboot. *)
 
 type t
 
@@ -23,14 +26,36 @@ val boot : t -> Ksim.Machine.t
 (** A fresh guest (a snapshot restore, in the paper's terms). *)
 
 val run :
-  ?max_steps:int -> t -> Controller.policy -> Controller.outcome
+  ?max_steps:int -> ?observe:Controller.observer -> t ->
+  Controller.policy -> Controller.outcome
 (** Run one schedule on a fresh guest, recording the outcome. *)
+
+val resume :
+  ?max_steps:int -> ?observe:Controller.observer -> t ->
+  Controller.start -> Controller.policy -> Controller.outcome
+(** Continue a schedule from a restored mid-run snapshot: only the
+    suffix beyond the start executes, but the outcome covers the whole
+    run exactly as [run] would report it.  The modeled cost of the
+    restored prefix (and of the reboot the restore made unnecessary,
+    when the previous run failed) is credited to [simulated_saved]. *)
 
 val runs : t -> int
 val failures : t -> int
 val total_steps : t -> int
 
+val executed_steps : t -> int
+(** Instructions actually executed — excludes restored prefixes, which
+    [total_steps] includes. *)
+
+val saved_steps : t -> int
+(** Prefix instructions obtained from snapshots instead of execution. *)
+
+val resumes : t -> int
+
 val simulated_seconds : t -> float
-(** Wall-clock estimate under the cost model. *)
+(** Wall-clock estimate under the cost model, net of snapshot savings. *)
+
+val simulated_saved : t -> float
+(** Modeled seconds the snapshot cache saved ([0.] when disabled). *)
 
 val pp_stats : t Fmt.t

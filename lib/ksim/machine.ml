@@ -575,3 +575,45 @@ let check_leaks t =
       match Heap.leaked t.heap with
       | [] -> t
       | objs -> { t with failure = Some (Failure.Memory_leak { objs }) })
+
+(* --- fingerprinting -------------------------------------------------- *)
+
+(* Canonical digest of the complete machine state.  Every component is
+   rendered through an order-canonical traversal (maps fold in key
+   order), so two machines that are structurally equal produce the same
+   digest regardless of how their persistent maps were built.  Used by
+   the snapshot cache's differential tests to assert that restoring a
+   prefix and executing the suffix reaches a state identical to a fresh
+   run. *)
+let fingerprint t =
+  let b = Buffer.create 1024 in
+  let add fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  add "clock=%d;next_tid=%d;" t.clock t.next_tid;
+  (match t.failure with
+  | None -> add "ok;"
+  | Some f -> add "failure=%s;" (Failure.to_string f));
+  Smap.iter (fun l holder -> add "lock:%s=%d;" l holder) t.locks;
+  Imap.iter
+    (fun id th ->
+      add "thread:%d name=%s base=%s ctx=%a pc=%d status=%s parent=%s;" id
+        th.name th.base Program.pp_context th.context th.pc
+        (match th.status with Runnable -> "runnable" | Done -> "done")
+        (match th.parent with None -> "-" | Some p -> string_of_int p);
+      Smap.iter (fun r v -> add "reg:%s=%s;" r (Value.to_string v)) th.regs;
+      Smap.iter (fun l n -> add "occ:%s=%d;" l n) th.occ)
+    t.threads;
+  Addr.Map.iter
+    (fun addr v -> add "mem:%s=%s;" (Addr.to_string addr) (Value.to_string v))
+    t.mem;
+  Heap.fold
+    (fun id (o : Heap.obj) () ->
+      add "obj:%d tag=%s gen=%d state=%s slots=%d leak=%b at=%s;" id o.tag
+        o.gen
+        (match o.state with
+        | Heap.Live -> "live"
+        | Heap.Freed at -> "freed@" ^ Access.Iid.to_string at)
+        o.slots o.leak_check
+        (Access.Iid.to_string o.alloc_at))
+    t.heap ();
+  add "heap_next=%d" (Heap.next_id t.heap);
+  Digest.to_hex (Digest.string (Buffer.contents b))

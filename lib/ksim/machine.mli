@@ -88,3 +88,10 @@ val step : t -> int -> (t * event, step_error) result
 val check_leaks : t -> t
 (** Once every thread finished: flag still-live [leak_check] objects as
     a {!Failure.Memory_leak}. *)
+
+val fingerprint : t -> string
+(** Canonical hex digest of the complete machine state (threads,
+    registers, memory, heap, locks, failure, clock).  Two structurally
+    equal machines fingerprint identically regardless of the history
+    that built their persistent maps.  Used by the snapshot cache's
+    differential oracle to assert restore+suffix ≡ fresh execution. *)
