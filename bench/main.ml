@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- LIST    — only the named targets
 
    Targets: table1 table2 table3 table_5_3 fig1 fig3 fig5 fig6 fig7 fig9
-            conciseness detector study wrongfix ablations analysis micro
+            conciseness detector study wrongfix ablations analysis
+            causality resilience micro
 
    Absolute times are simulated under the VM cost model (the substrate
    is a simulator, not the paper's 32-VM Xeon testbed); the comparisons
@@ -715,6 +716,59 @@ let causality () =
   emit_json ~target:"causality"
     (Analysis.Report_json.arr (List.rev !rows))
 
+(* --- resilience scenario ------------------------------------------------------ *)
+
+(* Fault injection vs the fault-free pipeline: per bug, a diagnosis
+   under a 5% mixed fault rate (the retry/quorum machinery armed with
+   the default policy) against the memoized clean one — faults actually
+   injected, retries spent, quorum confirmation runs, exhausted
+   budgets, and whether the causality chain converged to the clean
+   chain anyway.  Rows land under --json for tracking; this target is
+   deliberately NOT part of the perf gate (fault schedules change as
+   decision points move), the chain-parity column is the invariant. *)
+let resilience () =
+  section "Resilience: 5% mixed fault rate with retry/quorum vs fault-free";
+  let spec =
+    match Hypervisor.Faults.spec_of_string "rate=0.05" with
+    | Ok s -> s
+    | Error e -> Fmt.failwith "bad fault spec: %s" e
+  in
+  pr "%-18s %8s %7s %7s %7s %8s | %s@." "bug" "injected" "retries" "quorum"
+    "gave_up" "degraded" "chain";
+  let rows = ref [] in
+  List.iter
+    (fun (bug : Bugs.Bug.t) ->
+      let clean = report_of bug in
+      let faults = Hypervisor.Faults.create ~seed:1009 spec in
+      let faulted =
+        Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+          ~faults (bug.case ())
+      in
+      let retries, quorum_runs, gave_up =
+        match faulted.resilience with
+        | Some (res : Aitia.Resilience.t) ->
+          (res.stats.retries, res.stats.quorum_runs, res.stats.gave_up)
+        | None -> (0, 0, 0)
+      in
+      let converged = String.equal (chain_str clean) (chain_str faulted) in
+      pr "%-18s %8d %7d %7d %7d %8b | %s@." bug.id faulted.faults_injected
+        retries quorum_runs gave_up faulted.degraded
+        (if converged then "identical" else "DIFFERS");
+      let open Analysis.Report_json in
+      rows :=
+        obj
+          [ ("bug", str bug.id);
+            ("faults_injected", int faulted.faults_injected);
+            ("retries", int retries);
+            ("quorum_runs", int quorum_runs);
+            ("gave_up", int gave_up);
+            ("degraded", bool faulted.degraded);
+            ("reproduced", bool (Aitia.Diagnose.reproduced faulted));
+            ("chain_identical", bool converged) ]
+        :: !rows)
+    (Bugs.Registry.cves @ Bugs.Registry.syzkaller);
+  emit_json ~target:"resilience" (Analysis.Report_json.arr (List.rev !rows))
+
 (* --- micro-benchmarks (bechamel) ------------------------------------------------- *)
 
 let micro () =
@@ -798,7 +852,8 @@ let all_targets =
     ("fig6", fig6); ("fig7", fig7); ("fig9", fig9);
     ("conciseness", conciseness); ("detector", detector); ("study", study);
     ("wrongfix", wrongfix); ("ablations", ablations);
-    ("analysis", analysis); ("causality", causality); ("micro", micro) ]
+    ("analysis", analysis); ("causality", causality);
+    ("resilience", resilience); ("micro", micro) ]
 
 let trace_file : string option ref = ref None
 let metrics_file : string option ref = ref None

@@ -11,7 +11,16 @@
 
    Every subcommand accepts --trace-out FILE (Chrome trace-event JSON
    of the whole invocation, for chrome://tracing) and --metrics-out
-   FILE (flat counters/histograms/span-rollup JSON). *)
+   FILE (flat counters/histograms/span-rollup JSON).
+
+   diagnose and stats additionally take the robustness options:
+   --fault-spec/--fault-seed (deterministic fault injection),
+   --max-retries/--step-timeout (resilient execution), and
+   --journal/--resume (checkpointed, resumable diagnosis).
+
+   Exit status: 0 every case diagnosed; 1 some case cleanly failed to
+   reproduce; 2 usage or configuration error; 3 diagnosis degraded
+   (retry budget exhausted or quorum disagreement — partial chain). *)
 
 open Cmdliner
 
@@ -51,7 +60,7 @@ let setup_logs =
         | Ok l -> l
         | Error (`Msg m) ->
           Fmt.epr "aitia: %s@." m;
-          exit 1)
+          exit 2)
     in
     Logs.set_level lvl;
     (* Telemetry sinks: one recorder for the whole invocation, flushed
@@ -86,12 +95,177 @@ let resolve ids =
         | Some b -> b
         | None ->
           Fmt.epr "unknown bug id %s; try `aitia list'@." id;
-          exit 1)
+          exit 2)
       ids
 
-let diagnose_bug ?static_hints ?snapshot_cache (bug : Bugs.Bug.t) =
+(* --- numeric option validation ----------------------------------------- *)
+
+(* Reject garbage and out-of-range values at parse time, so a typo like
+   `--max-retries -1` or `--step-timeout many` is a usage error (exit
+   code 2), not a silent misconfiguration. *)
+let int_conv ~what ~ok ~expect =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when ok n -> Ok n
+    | Some n -> Error (`Msg (Fmt.str "%s must be %s (got %d)" what expect n))
+    | None ->
+      Error (`Msg (Fmt.str "%s expects %s, got %S" what expect s))
+  in
+  Arg.conv (parse, Fmt.int)
+
+let nonneg_int ~what =
+  int_conv ~what ~ok:(fun n -> n >= 0) ~expect:"a non-negative integer"
+
+let pos_int ~what =
+  int_conv ~what ~ok:(fun n -> n > 0) ~expect:"a positive integer"
+
+(* --- robustness options (fault injection, resilience, journal) --------- *)
+
+let fault_spec_conv =
+  let parse s =
+    match Hypervisor.Faults.spec_of_string s with
+    | Ok spec -> Ok spec
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Hypervisor.Faults.pp_spec)
+
+type exec_opts = {
+  fault_spec : Hypervisor.Faults.spec option;
+  fault_seed : int;
+  max_retries : int option;
+  step_timeout : int option;
+  snapshot_budget : int option;
+  journal_file : string option;
+  resume : bool;
+}
+
+let exec_opts_term =
+  let fault_spec =
+    Arg.(value & opt (some fault_spec_conv) None
+         & info [ "fault-spec" ] ~docv:"SPEC"
+             ~doc:
+               "Inject deterministic faults into the execution layer; \
+                $(docv) is comma-separated key=value pairs: $(b,rate=R) \
+                splits a total per-run fault rate evenly across all six \
+                kinds, or set $(b,boot), $(b,hang), $(b,miss), \
+                $(b,spurious), $(b,restore), $(b,flap) individually \
+                (probabilities in [0,1]); $(b,site=LABEL) restricts \
+                missed preemptions to scheduling points at that \
+                instruction label")
+  in
+  let fault_seed =
+    Arg.(value & opt (nonneg_int ~what:"--fault-seed") 1
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:
+               "Seed of the fault-injection stream; identical \
+                (spec, seed) pairs inject identical fault schedules")
+  in
+  let max_retries =
+    Arg.(value & opt (some (nonneg_int ~what:"--max-retries")) None
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:
+               "Re-run attempts perturbed by a detectable fault up to \
+                $(docv) times with exponential backoff (default 3 when \
+                faults are injected); 0 disables retrying AND quorum \
+                confirmation — fault-perturbed decisions are then \
+                accepted degraded (exit code 3) instead of re-executed")
+  in
+  let step_timeout =
+    Arg.(value & opt (some (pos_int ~what:"--step-timeout")) None
+         & info [ "step-timeout" ] ~docv:"STEPS"
+             ~doc:
+               "Watchdog: bound every schedule execution to $(docv) \
+                controller steps, so a hung run is cut off \
+                deterministically instead of running forever")
+  in
+  let snapshot_budget =
+    Arg.(value & opt (some (nonneg_int ~what:"--snapshot-budget")) None
+         & info [ "snapshot-budget" ] ~docv:"BYTES"
+             ~doc:
+               "Byte budget (estimated) of the prefix-sharing snapshot \
+                cache enabled by $(b,--snapshot-cache); 0 disables the \
+                cache")
+  in
+  let journal_file =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:
+               "Checkpoint per-slice / per-flip diagnosis progress to \
+                $(docv) (atomically, after every unit of work) so an \
+                interrupted diagnosis can be resumed with $(b,--resume)")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:
+               "Resume from the journal named by $(b,--journal): \
+                finished slices and flip verdicts are replayed from the \
+                journal instead of re-executed, and the report is \
+                identical to an uninterrupted run")
+  in
+  let make fault_spec fault_seed max_retries step_timeout snapshot_budget
+      journal_file resume =
+    { fault_spec; fault_seed; max_retries; step_timeout; snapshot_budget;
+      journal_file; resume }
+  in
+  Term.(const make $ fault_spec $ fault_seed $ max_retries $ step_timeout
+        $ snapshot_budget $ journal_file $ resume)
+
+(* Usage errors detected after parsing (option combinations, unreadable
+   journals) exit with code 2, like parse errors. *)
+let usage_error fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "aitia: %s@." msg;
+      exit 2)
+    fmt
+
+let setup_journal (o : exec_opts) : Aitia.Journal.t option =
+  match o.journal_file with
+  | None ->
+    if o.resume then usage_error "--resume requires --journal FILE"
+    else None
+  | Some file ->
+    if o.resume then (
+      match Aitia.Journal.load file with
+      | Ok j -> Some j
+      | Error e -> usage_error "cannot resume: %s" e)
+    else Some (Aitia.Journal.create file)
+
+(* A fresh fault harness per bug: multi-bug invocations inject the same
+   per-bug fault schedule as single-bug ones. *)
+let faults_for (o : exec_opts) =
+  Option.map
+    (fun spec -> Hypervisor.Faults.create ~seed:o.fault_seed spec)
+    o.fault_spec
+
+let resilience_for (o : exec_opts) : Aitia.Resilience.policy option =
+  match (o.fault_spec, o.max_retries) with
+  | None, None -> None
+  | _ ->
+    let max_retries =
+      Option.value ~default:Aitia.Resilience.default_policy.max_retries
+        o.max_retries
+    in
+    (* No retry budget, no quorum either: --max-retries 0 means "accept
+       whatever a single attempt produced, degraded". *)
+    let quorum =
+      if max_retries = 0 then 1
+      else Aitia.Resilience.default_policy.quorum
+    in
+    Some
+      { Aitia.Resilience.max_retries; quorum;
+        backoff_base = Aitia.Resilience.default_policy.backoff_base }
+
+let diagnose_bug ?static_hints ?snapshot_cache ?opts ?journal
+    (bug : Bugs.Bug.t) =
+  let faults = Option.bind opts faults_for in
+  let resilience = Option.bind opts resilience_for in
+  let max_steps = Option.bind opts (fun o -> o.step_timeout) in
+  let snapshot_budget = Option.bind opts (fun o -> o.snapshot_budget) in
   Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
-    ?static_hints ?snapshot_cache (bug.case ())
+    ?static_hints ?snapshot_cache ?snapshot_budget ?max_steps ?faults
+    ?resilience ?journal (bug.case ())
 
 let snapshot_cache_flag =
   Cmdliner.Arg.(
@@ -138,32 +312,46 @@ let diagnose_cmd =
                    frontier is visited Unguarded-first and statically \
                    Guarded candidate preemptions are skipped")
   in
-  let run () ids show_flips static_hints snapshot_cache =
-    List.iter
-      (fun bug ->
-        let report = diagnose_bug ~static_hints ~snapshot_cache bug in
-        Fmt.pr "%a@." Aitia.Report.pp report;
-        if show_flips then
-          match report.causality with
-          | None -> ()
-          | Some ca ->
-            Fmt.pr "flip log:@.";
-            List.iteri
-              (fun i (t : Aitia.Causality.tested) ->
-                Fmt.pr "  step %2d: flip %-24s -> %s@." (i + 1)
-                  (Fmt.str "%a" Aitia.Race.pp_short t.race)
-                  (match t.verdict with
-                  | Aitia.Causality.Root_cause -> "no failure (root cause)"
-                  | Aitia.Causality.Benign -> "still fails (benign)"))
-              ca.tested)
-      (resolve ids);
-    0
+  let run () ids show_flips static_hints snapshot_cache opts =
+    let journal = setup_journal opts in
+    let reports =
+      List.map
+        (fun bug ->
+          let report =
+            diagnose_bug ~static_hints ~snapshot_cache ~opts ?journal bug
+          in
+          Fmt.pr "%a@." Aitia.Report.pp report;
+          (if show_flips then
+             match report.causality with
+             | None -> ()
+             | Some ca ->
+               Fmt.pr "flip log:@.";
+               List.iteri
+                 (fun i (t : Aitia.Causality.tested) ->
+                   Fmt.pr "  step %2d: flip %-24s -> %s@." (i + 1)
+                     (Fmt.str "%a" Aitia.Race.pp_short t.race)
+                     (match t.verdict with
+                     | Aitia.Causality.Root_cause -> "no failure (root cause)"
+                     | Aitia.Causality.Benign -> "still fails (benign)"))
+                 ca.tested);
+          report)
+        (resolve ids)
+    in
+    Aitia.Report.exit_status reports
   in
   Cmd.v
     (Cmd.info "diagnose"
-       ~doc:"Reproduce a failure and build its causality chain")
+       ~doc:"Reproduce a failure and build its causality chain"
+       ~exits:
+         [ Cmd.Exit.info 0 ~doc:"every case was diagnosed";
+           Cmd.Exit.info 1 ~doc:"some case failed to reproduce";
+           Cmd.Exit.info 2 ~doc:"usage or configuration error";
+           Cmd.Exit.info 3
+             ~doc:
+               "diagnosis degraded: retry budget exhausted or quorum \
+                disagreement, the chain is partial" ])
     Term.(const run $ setup_logs $ bug_arg $ flips $ hints
-          $ snapshot_cache_flag)
+          $ snapshot_cache_flag $ exec_opts_term)
 
 (* --- analyze ---------------------------------------------------------- *)
 
@@ -264,7 +452,9 @@ let stats_cmd =
              ~doc:"Emit one flat metrics JSON object per bug instead of \
                    the table")
   in
-  let run () ids static_hints snapshot_cache json =
+  let run () ids static_hints snapshot_cache json opts =
+    let journal = setup_journal opts in
+    let reports = ref [] in
     List.iter
       (fun (bug : Bugs.Bug.t) ->
         (* A per-bug recorder; tee into the invocation-wide sink (from
@@ -279,8 +469,9 @@ let stats_cmd =
         in
         let report =
           Telemetry.Probe.with_sink sink (fun () ->
-              diagnose_bug ~static_hints ~snapshot_cache bug)
+              diagnose_bug ~static_hints ~snapshot_cache ~opts ?journal bug)
         in
+        reports := report :: !reports;
         if json then
           Fmt.pr "%s@."
             (Analysis.Report_json.obj
@@ -305,7 +496,7 @@ let stats_cmd =
                 (s.s_total_us /. 1000.0))
             (Telemetry.Recorder.span_stats r)))
       (resolve ids);
-    0
+    Aitia.Report.exit_status (List.rev !reports)
   in
   Cmd.v
     (Cmd.info "stats"
@@ -313,7 +504,7 @@ let stats_cmd =
              metrics: schedule/flip/instruction counters and per-span \
              wall-time rollups")
     Term.(const run $ setup_logs $ bug_arg $ hints $ snapshot_cache_flag
-          $ json)
+          $ json $ exec_opts_term)
 
 (* --- chain ------------------------------------------------------------ *)
 
@@ -411,4 +602,14 @@ let main =
     [ list_cmd; diagnose_cmd; analyze_cmd; lint_cmd; stats_cmd; chain_cmd;
       fuzz_cmd; compare_cmd ]
 
-let () = exit (Cmd.eval' main)
+(* Map Cmdliner outcomes onto the documented exit codes: subcommands
+   return their own status (0 / 1 / 3), and every usage or
+   configuration error — unknown option, malformed --fault-spec,
+   negative --max-retries — exits 2. *)
+let () =
+  exit
+    (match Cmd.eval_value main with
+    | Ok (`Ok status) -> status
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

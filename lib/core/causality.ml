@@ -40,6 +40,10 @@ type tested = {
      is the anomaly backward testing minimizes.  False for statically
      pruned flips, which never run. *)
   enforced : bool;
+  (* Resilience confidence of the verdict: 1.0 normally, the quorum
+     vote share when fault-injected re-runs disagreed, 0.0 when the
+     retry budget was exhausted and the verdict is best-effort. *)
+  confidence : float;
 }
 
 type stats = {
@@ -50,6 +54,12 @@ type stats = {
   executed_instrs : int;  (* instructions executed (snapshot-restored
                              prefixes excluded) *)
 }
+
+(* The identity for [stats_base] (resumed analyses add the journaled
+   progress of the interrupted run here). *)
+let zero_stats =
+  { schedules = 0; flips_statically_pruned = 0; elapsed = 0.; simulated = 0.;
+    executed_instrs = 0 }
 
 type result = {
   tested : tested list;          (* in testing order *)
@@ -238,7 +248,7 @@ let survived (o : Controller.outcome) =
 
 (* Test one race: build the flip plan, statically prune it when the
    hints prove the re-run redundant, otherwise execute the flip. *)
-let test_one ?max_steps ~prologue ~static_hints ?snapshots
+let test_one ?max_steps ~prologue ~static_hints ?snapshots ?resilience
     (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
     ~(races : Race.t list) (r : Race.t) : tested =
   let plan = flip_plan failing.trace r in
@@ -262,9 +272,12 @@ let test_one ?max_steps ~prologue ~static_hints ?snapshots
       pruned;
       disappeared = [];
       ambiguous = false;
-      enforced = false }
+      enforced = false;
+      confidence = 1. }
   | None ->
-    let run = Executor.run_plan ?max_steps ~prologue ?snapshots vm plan in
+    let run =
+      Executor.run_plan ?max_steps ~prologue ?snapshots ?resilience vm plan
+    in
     let ok = survived run.outcome in
     let disappeared =
       if not ok then []
@@ -290,15 +303,30 @@ let test_one ?max_steps ~prologue ~static_hints ?snapshots
       pruned = None;
       disappeared;
       ambiguous = false;
-      enforced }
+      enforced;
+      confidence = run.confidence }
 
 let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
-    ?snapshots (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
+    ?snapshots ?resilience ?replay ?checkpoint ?(stats_base = zero_stats)
+    (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
     ~(races : Race.t list) () : result =
   Telemetry.Probe.span_begin ~cat:"causality" "causality.analyze";
   let t0 = Unix.gettimeofday () in
   let runs_before = Hypervisor.Vm.runs vm in
   let instrs_before = Hypervisor.Vm.executed_steps vm in
+  (* Progress so far including the journaled base of an interrupted
+     analysis; [flips_statically_pruned] is recomputed from the final
+     tested list instead (adding the base would double-count replayed
+     pruned flips). *)
+  let current_stats () =
+    { schedules = stats_base.schedules + (Hypervisor.Vm.runs vm - runs_before);
+      flips_statically_pruned = 0;
+      elapsed = stats_base.elapsed +. (Unix.gettimeofday () -. t0);
+      simulated = stats_base.simulated +. Hypervisor.Vm.simulated_seconds vm;
+      executed_instrs =
+        stats_base.executed_instrs
+        + (Hypervisor.Vm.executed_steps vm - instrs_before) }
+  in
   let ordered = test_order ?direction races in
   (* One span per flip test, closed with the verdict (and the static
      proof when the re-run was pruned). *)
@@ -311,15 +339,28 @@ let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
       ("pruned", Option.value ~default:"" t.pruned);
       ("enforced", if t.enforced then "true" else "false") ]
   in
+  let executed = ref 0 in
   let tested =
     List.map
       (fun (r : Race.t) ->
-        Telemetry.Probe.span_begin ~cat:"causality" "causality.flip";
-        let t = test_one ?max_steps ~prologue ~static_hints ?snapshots vm
-            ~failing ~races r in
-        (if Telemetry.Probe.installed () then
-           Telemetry.Probe.span_end ~args:(flip_args t) ());
-        t)
+        match
+          match replay with Some lookup -> lookup r | None -> None
+        with
+        | Some t ->
+          (* Verdict recovered from the diagnosis journal: no re-run. *)
+          Telemetry.Probe.count "causality.flips_replayed";
+          t
+        | None ->
+          Telemetry.Probe.span_begin ~cat:"causality" "causality.flip";
+          let t = test_one ?max_steps ~prologue ~static_hints ?snapshots
+              ?resilience vm ~failing ~races r in
+          (if Telemetry.Probe.installed () then
+             Telemetry.Probe.span_end ~args:(flip_args t) ());
+          if t.pruned = None then incr executed;
+          (match checkpoint with
+          | Some save -> save t (current_stats ())
+          | None -> ());
+          t)
       ordered
   in
   let root_tested =
@@ -373,19 +414,14 @@ let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
     |> List.map (fun t -> t.race)
   in
   let stats =
-    { schedules = Hypervisor.Vm.runs vm - runs_before;
+    { (current_stats ()) with
       flips_statically_pruned =
         List.length
-          (List.filter (fun (t : tested) -> t.pruned <> None) tested);
-      elapsed = Unix.gettimeofday () -. t0;
-      simulated = Hypervisor.Vm.simulated_seconds vm;
-      executed_instrs = Hypervisor.Vm.executed_steps vm - instrs_before }
+          (List.filter (fun (t : tested) -> t.pruned <> None) tested) }
   in
   if Telemetry.Probe.installed () then (
     Telemetry.Probe.count ~by:(List.length tested) "causality.flips";
-    Telemetry.Probe.count
-      ~by:(List.length tested - stats.flips_statically_pruned)
-      "causality.flips_executed";
+    Telemetry.Probe.count ~by:!executed "causality.flips_executed";
     Telemetry.Probe.count ~by:stats.flips_statically_pruned
       "causality.flips_statically_pruned";
     Telemetry.Probe.count ~by:(List.length root_causes)

@@ -23,6 +23,9 @@ type tested = {
   enforced : bool;
       (** did the flipped order actually execute? (ablation metric;
           false for statically pruned flips) *)
+  confidence : float;
+      (** 1.0 normally; the quorum vote share when fault-injected
+          re-runs disagreed; 0.0 when the retry budget was exhausted *)
 }
 
 type stats = {
@@ -36,6 +39,9 @@ type stats = {
       (** instructions executed, excluding prefixes restored from the
           snapshot cache *)
 }
+
+val zero_stats : stats
+(** All-zero identity for [stats_base]. *)
 
 type result = {
   tested : tested list;           (** in testing order *)
@@ -73,6 +79,10 @@ val analyze :
   ?direction:[ `Backward | `Forward ] ->
   ?static_hints:bool ->
   ?snapshots:Hypervisor.Snapshots.t * string ->
+  ?resilience:Resilience.t ->
+  ?replay:(Race.t -> tested option) ->
+  ?checkpoint:(tested -> stats -> unit) ->
+  ?stats_base:stats ->
   Hypervisor.Vm.t ->
   failing:Hypervisor.Controller.outcome ->
   races:Race.t list ->
@@ -86,4 +96,15 @@ val analyze :
     the preemption key of the reproduced failure run: each flip then
     restores the snapshot just before its flipped race instead of
     rebooting and re-executing the shared prefix — verdicts, chains and
-    traces are unchanged. *)
+    traces are unchanged.
+
+    [resilience] supplies the retry/quorum policy when the VM injects
+    faults.  The remaining three parameters implement resumable
+    diagnosis: [replay] maps a race to its already-journaled verdict —
+    a hit skips the flip re-run entirely (ambiguity and edges are
+    recomputed over the full tested list, so a resumed analysis yields
+    the same result); [checkpoint] is invoked after every {e executed}
+    flip with the fresh verdict and the cumulative stats so far;
+    [stats_base] (default {!zero_stats}) is the journaled progress of
+    the interrupted run, folded into the returned [stats] (except
+    [flips_statically_pruned], recomputed from the final tested list). *)

@@ -10,6 +10,10 @@
 type node = {
   race : Race.t;
   ambiguous : bool;
+  (* Resilience confidence of the race's root-cause verdict: 1.0 unless
+     fault-injected re-runs disagreed (quorum vote share) or the retry
+     budget was exhausted (0.0). *)
+  confidence : float;
 }
 
 type t = {
@@ -24,6 +28,15 @@ let length t = List.length (races t)
 let has_ambiguity t =
   List.exists (List.exists (fun n -> n.ambiguous)) t.groups
 
+let min_confidence t =
+  List.fold_left
+    (fun acc g -> List.fold_left (fun acc n -> min acc n.confidence) acc g)
+    1. t.groups
+
+(* Full confidence within a rendering epsilon: fault-free chains print
+   without any confidence annotation, byte-identical to before. *)
+let certain c = c >= 0.999
+
 (* Build a chain from the Causality Analysis result.  Two root-cause
    races with mutual causality edges — flipping either one makes the
    other disappear — are two halves of one multi-variable atomicity
@@ -33,6 +46,15 @@ let has_ambiguity t =
 let of_causality (ca : Causality.result) ~(failure : Ksim.Failure.t) : t =
   let is_ambiguous r =
     List.exists (Race.equal r) ca.Causality.ambiguous
+  in
+  let confidence_of r =
+    match
+      List.find_opt
+        (fun (t : Causality.tested) -> Race.equal t.race r)
+        ca.Causality.tested
+    with
+    | Some t -> t.Causality.confidence
+    | None -> 1.
   in
   let edge a b =
     List.exists
@@ -76,7 +98,9 @@ let of_causality (ca : Causality.result) ~(failure : Ksim.Failure.t) : t =
     components roots
     |> List.map (fun g ->
            List.map
-             (fun r -> { race = r; ambiguous = is_ambiguous r })
+             (fun r ->
+               { race = r; ambiguous = is_ambiguous r;
+                 confidence = confidence_of r })
              (List.sort
                 (fun (a : Race.t) b -> Int.compare a.second.time b.second.time)
                 g))
@@ -91,8 +115,10 @@ let of_causality (ca : Causality.result) ~(failure : Ksim.Failure.t) : t =
   { groups; failure }
 
 let pp_node ppf n =
-  Fmt.pf ppf "(%a)%s" Race.pp_short n.race
+  Fmt.pf ppf "(%a)%s%s" Race.pp_short n.race
     (if n.ambiguous then "?" else "")
+    (if certain n.confidence then ""
+     else Fmt.str "[~%.0f%%]" (100. *. n.confidence))
 
 let pp ppf t =
   let pp_group ppf g =
@@ -112,8 +138,10 @@ let pp_detailed ppf t =
       Fmt.pf ppf "  [%d] %a@."
         (i + 1)
         (Fmt.list ~sep:(Fmt.any "  /\\  ") (fun ppf n ->
-             Fmt.pf ppf "%a%s" Race.pp n.race
-               (if n.ambiguous then " (ambiguous)" else "")))
+             Fmt.pf ppf "%a%s%s" Race.pp n.race
+               (if n.ambiguous then " (ambiguous)" else "")
+               (if certain n.confidence then ""
+                else Fmt.str " (confidence ~%.0f%%)" (100. *. n.confidence))))
         g)
     t.groups;
   Fmt.pf ppf "  ==> %a" Ksim.Failure.pp t.failure

@@ -9,6 +9,9 @@
 type node = {
   race : Race.t;
   ambiguous : bool;
+  confidence : float;
+      (** resilience confidence of the root-cause verdict; 1.0 unless
+          fault-injected re-runs disagreed or the budget was exhausted *)
 }
 
 type t = {
@@ -19,6 +22,14 @@ type t = {
 val races : t -> Race.t list
 val length : t -> int
 val has_ambiguity : t -> bool
+
+val min_confidence : t -> float
+(** The weakest verdict confidence in the chain (1.0 when empty). *)
+
+val certain : float -> bool
+(** Full confidence within rendering epsilon ([>= 0.999]); certain
+    nodes print without any confidence annotation, so fault-free chains
+    are byte-identical to the pre-resilience rendering. *)
 
 val of_causality : Causality.result -> failure:Ksim.Failure.t -> t
 (** Conjunction groups come from mutual causality edges or identical

@@ -4,7 +4,21 @@
    execution history, and the crash report.  The manager slices the
    history backward from the failure, realizes each slice as a guest
    workload, runs LIFS until the failure is reproduced, then runs
-   Causality Analysis and assembles the causality chain. *)
+   Causality Analysis and assembles the causality chain.
+
+   Two orthogonal robustness layers ride on top of the pipeline:
+
+   - {e fault injection / resilience}: when the case's VMs carry a
+     [Hypervisor.Faults] harness, every execution goes through the
+     resilient executor (retry with backoff, quorum confirmation), and
+     the report says whether any decision was accepted degraded;
+
+   - {e the diagnosis journal}: with [journal], per-slice and per-flip
+     progress is checkpointed to disk as it happens, and a rerun over
+     the same journal replays recorded results instead of re-executing
+     them — finished slices are skipped, the reproducing schedule is
+     re-run once to rebuild the machine state the flips permute, and
+     journaled flip verdicts feed Causality Analysis directly. *)
 
 let src = Logs.Src.create "aitia.diagnose" ~doc:"The AITIA manager"
 
@@ -31,6 +45,10 @@ type report = {
   causality : Causality.result option;
   chain : Chain.t option;
   metrics : metrics option;
+  degraded : bool;              (* some decision exhausted its budget or
+                                   was accepted below full agreement *)
+  resilience : Resilience.t option;
+  faults_injected : int;        (* faults injected during this diagnosis *)
 }
 
 let reproduced r = r.chain <> None
@@ -78,12 +96,117 @@ let hints_of_group (group : Ksim.Program.group) (prologue : int list) :
   in
   Analysis.Summary.hints (Analysis.Candidates.analyze ~serial group)
 
+(* --- journal conversions ------------------------------------------------ *)
+
+let summary_of_lifs (s : Lifs.stats) : Journal.lifs_summary =
+  { l_schedules = s.schedules;
+    l_pruned = s.pruned;
+    l_static_pruned = s.static_pruned;
+    l_interleavings = s.interleavings;
+    l_simulated = s.simulated;
+    l_executed_instrs = s.executed_instrs }
+
+(* Elapsed host time is not replayable (and not reported); everything
+   the report prints is journaled. *)
+let lifs_stats_of_summary (s : Journal.lifs_summary) : Lifs.stats =
+  { schedules = s.l_schedules;
+    pruned = s.l_pruned;
+    static_pruned = s.l_static_pruned;
+    interleavings = s.l_interleavings;
+    elapsed = 0.;
+    simulated = s.l_simulated;
+    executed_instrs = s.l_executed_instrs }
+
+let flip_of_tested (t : Causality.tested) : Journal.flip =
+  { f_race = Race.key t.race;
+    f_verdict =
+      (match t.verdict with
+      | Causality.Root_cause -> `Root_cause
+      | Causality.Benign -> `Benign);
+    f_pruned = t.pruned;
+    f_enforced = t.enforced;
+    f_disappeared = List.map Race.key t.disappeared;
+    f_confidence = t.confidence }
+
+(* Rebuild a tested record from its journaled verdict.  [ambiguous] is
+   left false — {!Causality.analyze} recomputes ambiguity over the full
+   tested list, replayed or not — and the flip outcome is gone (only
+   its consequences were journaled).  [None] when the journaled race
+   key no longer matches the test set (stale journal): the flip then
+   re-executes. *)
+let tested_of_flip (races : Race.t list) (fl : Journal.flip) :
+    Causality.tested option =
+  match
+    List.find_opt (fun r -> String.equal (Race.key r) fl.f_race) races
+  with
+  | None -> None
+  | Some race ->
+    Some
+      { Causality.race;
+        verdict =
+          (match fl.f_verdict with
+          | `Root_cause -> Causality.Root_cause
+          | `Benign -> Causality.Benign);
+        flip_outcome = None;
+        pruned = fl.f_pruned;
+        disappeared =
+          List.filter
+            (fun r -> List.mem (Race.key r) fl.f_disappeared)
+            races;
+        ambiguous = false;
+        enforced = fl.f_enforced;
+        confidence = fl.f_confidence }
+
 let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
     ?(snapshot_cache = false) ?snapshot_budget
-    ?(slice_order = `Nearest_first) (case : case) : report =
+    ?(slice_order = `Nearest_first) ?faults ?resilience:rpolicy ?journal
+    (case : case) : report =
   Telemetry.Probe.with_span ~cat:"diagnose" "diagnose"
     ~args:[ ("case", case.case_name) ]
   @@ fun () ->
+  (* With faults armed, a Resilience.t always exists — even a
+     zero-retry policy must account give-ups and low-confidence
+     verdicts so the report can say the diagnosis is degraded. *)
+  let resilience =
+    match faults with
+    | Some _ -> Some (Resilience.create ?policy:rpolicy ())
+    | None -> Option.map (fun p -> Resilience.create ~policy:p ()) rpolicy
+  in
+  let injected_before =
+    match faults with Some f -> Hypervisor.Faults.injected f | None -> 0
+  in
+  let assemble ~slices_tried ~slice_threads ~lifs ~causality ~chain ~metrics
+      =
+    { case; slices_tried; slice_threads; lifs; causality; chain; metrics;
+      degraded =
+        (match resilience with
+        | Some r -> Resilience.degraded r
+        | None -> false);
+      resilience;
+      faults_injected =
+        (match faults with
+        | Some f -> Hypervisor.Faults.injected f - injected_before
+        | None -> 0) }
+  in
+  (* Journal state: [recorded] is what a previous (interrupted) run left
+     for this case, indexed by realized-attempt order; [jslices] is the
+     entry being rebuilt by this run, newest first. *)
+  let recorded =
+    match journal with
+    | None -> [||]
+    | Some j -> (
+      match Journal.find_case j case.case_name with
+      | Some e -> Array.of_list e.Journal.slices
+      | None -> [||])
+  in
+  let jslices = ref [] in
+  let jsave ~complete =
+    match journal with
+    | None -> ()
+    | Some j ->
+      Journal.set_case j case.case_name
+        { Journal.slices = List.rev !jslices; complete }
+  in
   let crash = Trace.History.crash case.history in
   let target = Trace.Crash.matches crash in
   let slices = Trace.Slicer.slices case.history in
@@ -102,11 +225,95 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
     | Some (a' : Lifs.result) ->
       if b.Lifs.stats.schedules > a'.stats.schedules then Some b else a
   in
+  (* Causality Analysis over a reproduced failure, journaling each flip
+     as it is decided.  [prior_flips] are journaled verdicts from an
+     interrupted run (empty on a fresh attempt); they replay without
+     re-execution. *)
+  let run_causality ~group ~prologue ~snapshots ~slice_threads
+      ~(success : Lifs.success) ~(lifs : Lifs.result)
+      ~(prior_flips : Journal.flip list)
+      ~(stats_base : Causality.stats) =
+    let ca_vm = Hypervisor.Vm.create ?faults group in
+    let ca_snapshots =
+      Option.map
+        (fun cache ->
+          (cache, Hypervisor.Schedule.preemption_key success.Lifs.schedule))
+        snapshots
+    in
+    let flips = ref (List.rev prior_flips) in  (* newest first *)
+    let pushed = ref false in
+    let record ~(st : Causality.stats) ~complete_ca =
+      if journal <> None then (
+        let slice =
+          Journal.Reproduced
+            { r_threads = slice_threads;
+              r_schedule = success.Lifs.schedule;
+              r_lifs = summary_of_lifs lifs.Lifs.stats;
+              r_races = success.Lifs.races;
+              r_flips = List.rev !flips;
+              r_ca_schedules = st.Causality.schedules;
+              r_ca_simulated = st.Causality.simulated;
+              r_ca_instrs = st.Causality.executed_instrs;
+              r_ca_elapsed = st.Causality.elapsed;
+              r_ca_complete = complete_ca }
+        in
+        (if !pushed then jslices := slice :: List.tl !jslices
+         else (
+           jslices := slice :: !jslices;
+           pushed := true));
+        (* The case is done exactly when CA finishes on the reproducing
+           slice. *)
+        jsave ~complete:complete_ca)
+    in
+    record ~st:stats_base ~complete_ca:false;
+    let replay =
+      if prior_flips = [] then None
+      else (
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (fl : Journal.flip) -> Hashtbl.replace tbl fl.f_race fl)
+          prior_flips;
+        Some
+          (fun (r : Race.t) ->
+            Option.bind
+              (Hashtbl.find_opt tbl (Race.key r))
+              (tested_of_flip success.Lifs.races)))
+    in
+    let checkpoint =
+      if journal = None then None
+      else
+        Some
+          (fun t st ->
+            flips := flip_of_tested t :: !flips;
+            record ~st ~complete_ca:false)
+    in
+    let ca =
+      Causality.analyze ?max_steps ~prologue ~static_hints
+        ?snapshots:ca_snapshots ?resilience ?replay ?checkpoint ~stats_base
+        ca_vm ~failing:success.Lifs.outcome ~races:success.Lifs.races ()
+    in
+    if journal <> None then (
+      (* The authoritative flip list (ambiguity resolved, replays
+         included) supersedes the incremental checkpoints. *)
+      flips := List.rev_map flip_of_tested ca.Causality.tested;
+      record ~st:ca.Causality.stats ~complete_ca:true);
+    let chain = Chain.of_causality ca ~failure:success.Lifs.failure in
+    let metrics =
+      { mem_accessing_instrs =
+          List.length
+            (Race.accesses_of_trace success.Lifs.outcome.trace);
+        races_detected = List.length success.Lifs.races;
+        races_in_chain = List.length ca.Causality.root_causes }
+    in
+    (ca, chain, metrics)
+  in
   let rec try_slices tried last_lifs = function
     | [] ->
-      { case; slices_tried = tried; slice_threads = [];
-        lifs = (match last_lifs with Some l -> l | None -> empty_lifs_result ());
-        causality = None; chain = None; metrics = None }
+      jsave ~complete:true;
+      assemble ~slices_tried:tried ~slice_threads:[]
+        ~lifs:
+          (match last_lifs with Some l -> l | None -> empty_lifs_result ())
+        ~causality:None ~chain:None ~metrics:None
     | slice :: rest -> (
       match realize case slice with
       | None -> try_slices tried last_lifs rest
@@ -116,56 +323,122 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
               (Fmt.list ~sep:Fmt.comma Fmt.string)
               (Trace.Slicer.threads slice));
         Telemetry.Probe.count "diagnose.slices";
+        let slice_threads = Trace.Slicer.threads slice in
+        let recorded_slice =
+          if tried < Array.length recorded then Some recorded.(tried)
+          else None
+        in
+        let make_snapshots () =
+          (* One snapshot cache per slice attempt: schedule keys are
+             only meaningful within one realized group, and the LIFS
+             vectors stay warm for Causality Analysis below. *)
+          if snapshot_cache then
+            Some (Hypervisor.Snapshots.create ?budget_bytes:snapshot_budget ())
+          else None
+        in
         (* The whole attempt — LIFS, and Causality Analysis on success
            — is one slice span; the recursion to the next slice happens
            outside it, so slice spans are siblings in the trace. *)
-        let attempt () =
-          let lifs_vm = Hypervisor.Vm.create group in
+        let fresh () =
+          let lifs_vm = Hypervisor.Vm.create ?faults group in
           let hints =
             if static_hints then Some (hints_of_group group prologue)
             else None
           in
-          (* One snapshot cache per slice attempt: schedule keys are
-             only meaningful within one realized group, and the LIFS
-             vectors stay warm for Causality Analysis below. *)
-          let snapshots =
-            if snapshot_cache then
-              Some
-                (Hypervisor.Snapshots.create ?budget_bytes:snapshot_budget ())
-            else None
-          in
+          let snapshots = make_snapshots () in
           let lifs =
             Lifs.search ?max_interleavings ?max_steps ~prologue
-              ?static_hints:hints ?snapshots lifs_vm ~target ()
+              ?static_hints:hints ?snapshots ?resilience lifs_vm ~target ()
           in
           match lifs.found with
-          | None -> Error lifs
+          | None ->
+            (if journal <> None then (
+               jslices :=
+                 Journal.No_repro
+                   { nr_threads = slice_threads;
+                     nr_lifs = summary_of_lifs lifs.stats }
+                 :: !jslices;
+               jsave ~complete:false));
+            Error lifs
           | Some success ->
-            let ca_vm = Hypervisor.Vm.create group in
-            let ca_snapshots =
-              Option.map
-                (fun cache ->
-                  ( cache,
-                    Hypervisor.Schedule.preemption_key success.schedule ))
-                snapshots
-            in
-            let ca =
-              Causality.analyze ?max_steps ~prologue ~static_hints
-                ?snapshots:ca_snapshots ca_vm ~failing:success.outcome
-                ~races:success.races ()
-            in
-            let chain = Chain.of_causality ca ~failure:success.failure in
-            let metrics =
-              { mem_accessing_instrs =
-                  List.length (Race.accesses_of_trace success.outcome.trace);
-                races_detected = List.length success.races;
-                races_in_chain = List.length ca.root_causes }
+            let ca, chain, metrics =
+              run_causality ~group ~prologue ~snapshots ~slice_threads
+                ~success ~lifs ~prior_flips:[]
+                ~stats_base:Causality.zero_stats
             in
             Ok
-              { case; slices_tried = tried + 1;
-                slice_threads = Trace.Slicer.threads slice;
-                lifs; causality = Some ca; chain = Some chain;
-                metrics = Some metrics }
+              (assemble ~slices_tried:(tried + 1) ~slice_threads ~lifs
+                 ~causality:(Some ca) ~chain:(Some chain)
+                 ~metrics:(Some metrics))
+        in
+        let attempt () =
+          match recorded_slice with
+          | Some (Journal.No_repro s)
+            when s.nr_threads = slice_threads ->
+            (* Journaled non-reproduction: skip the whole LIFS search. *)
+            Telemetry.Probe.count "diagnose.slices_replayed";
+            jslices := Journal.No_repro s :: !jslices;
+            jsave ~complete:false;
+            Error
+              { Lifs.found = None;
+                stats = lifs_stats_of_summary s.nr_lifs;
+                db = Ksim.Kcov.empty;
+                runs = [] }
+          | Some (Journal.Reproduced s)
+            when s.r_threads = slice_threads -> (
+            (* Journaled reproduction: re-run only the recorded schedule
+               to rebuild the machine state the flips permute. *)
+            let lifs_vm = Hypervisor.Vm.create ?faults group in
+            let snapshots = make_snapshots () in
+            let r =
+              Executor.run_preemption ?max_steps ~prologue ?snapshots
+                ?resilience lifs_vm s.r_schedule
+            in
+            match Executor.failed r with
+            | Some f when target f ->
+              Telemetry.Probe.count "diagnose.slices_replayed";
+              let success =
+                { Lifs.schedule = s.r_schedule;
+                  outcome = r.outcome;
+                  failure = f;
+                  races = s.r_races }
+              in
+              let lifs =
+                { Lifs.found = Some success;
+                  stats = lifs_stats_of_summary s.r_lifs;
+                  db = Executor.learn Ksim.Kcov.empty r;
+                  runs = [ (s.r_schedule, r.outcome) ] }
+              in
+              let stats_base =
+                { Causality.zero_stats with
+                  schedules = s.r_ca_schedules;
+                  simulated = s.r_ca_simulated;
+                  executed_instrs = s.r_ca_instrs;
+                  elapsed = s.r_ca_elapsed }
+              in
+              let ca, chain, metrics =
+                run_causality ~group ~prologue ~snapshots ~slice_threads
+                  ~success ~lifs ~prior_flips:s.r_flips ~stats_base
+              in
+              Ok
+                (assemble ~slices_tried:(tried + 1) ~slice_threads ~lifs
+                   ~causality:(Some ca) ~chain:(Some chain)
+                   ~metrics:(Some metrics))
+            | Some _ | None ->
+              Log.warn (fun m ->
+                  m
+                    "case %s: journaled schedule no longer reproduces \
+                     (stale journal?); rediagnosing slice"
+                    case.case_name);
+              fresh ())
+          | Some _ ->
+            Log.warn (fun m ->
+                m
+                  "case %s: journaled slice does not match this attempt \
+                   (stale journal?); rediagnosing slice"
+                  case.case_name);
+            fresh ()
+          | None -> fresh ()
         in
         match
           Telemetry.Probe.with_span ~cat:"diagnose" "diagnose.slice"

@@ -27,6 +27,13 @@ type report = {
   causality : Causality.result option;
   chain : Chain.t option;
   metrics : metrics option;
+  degraded : bool;
+      (** some decision exhausted its retry budget or was accepted
+          below full quorum agreement: the chain is partial/low
+          confidence *)
+  resilience : Resilience.t option;
+      (** retry/quorum accounting, when the resilient executor ran *)
+  faults_injected : int;  (** faults injected during this diagnosis *)
 }
 
 val reproduced : report -> bool
@@ -48,6 +55,9 @@ val diagnose :
   ?snapshot_cache:bool ->
   ?snapshot_budget:int ->
   ?slice_order:[ `Nearest_first | `Farthest_first ] ->
+  ?faults:Hypervisor.Faults.t ->
+  ?resilience:Resilience.policy ->
+  ?journal:Journal.t ->
   case ->
   report
 (** The full pipeline.  Tries slices nearest-to-failure first until one
@@ -64,4 +74,14 @@ val diagnose :
     estimated): LIFS children resume from their parent's cached prefix
     and every Causality flip restores the snapshot just before its
     flipped race instead of rebooting — all schedules, verdicts and
-    chains are bit-identical with the cache on or off. *)
+    chains are bit-identical with the cache on or off.
+
+    [faults] arms deterministic fault injection on every VM the
+    diagnosis creates; the executions then go through the resilient
+    executor with the [resilience] policy (default
+    {!Resilience.default_policy}) and the report carries the degraded
+    flag and accounting.  [journal] checkpoints per-slice / per-flip
+    progress to disk: rerunning the same diagnosis over the journal of
+    an interrupted run replays finished work instead of re-executing it
+    (the reproducing schedule is re-run once to rebuild machine state)
+    and produces the same report. *)

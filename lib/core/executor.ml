@@ -1,9 +1,30 @@
 (* Running schedules on a VM and harvesting what AITIA needs from the
-   run: the trace, the access database updates, and the races. *)
+   run: the trace, the access database updates, and the races.
+
+   Under fault injection (Hypervisor.Faults armed on the VM) every run
+   goes through a resilience driver:
+
+   - detectable transient faults (boot failures, hangs, missed
+     preemptions, spurious switches) taint the attempt, which is
+     retried with exponential backoff — modeled seconds charged to the
+     VM cost model, never host sleeps;
+   - snapshot-restore corruption is detected at the restore site: the
+     bad cache entry is poisoned and the run degrades to the reboot
+     path, no retry needed;
+   - outcome flaps are undetectable on a single run, so when flaps are
+     possible a clean run's verdict is confirmed by quorum: independent
+     clean re-executions vote and the majority class wins, early-exit
+     once a majority is certain (two agreeing runs, in the common
+     case).  The accepted run is the earliest clean run of the winning
+     class, and [confidence] is the vote share.
+
+   Without faults the driver is bypassed entirely and every path is
+   bit-identical to the fault-free build. *)
 
 type run = {
   schedule_kind : [ `Preemption | `Plan ];
   outcome : Hypervisor.Controller.outcome;
+  confidence : float;
 }
 
 (* Prologue threads (resource-setup system calls pulled in by the slicer)
@@ -30,70 +51,277 @@ let capture dump snaps_rev : Hypervisor.Controller.observer =
     { Hypervisor.Snapshots.machine = m; trace_rev; steps; queue; pending }
     :: !snaps_rev
 
-let run_preemption ?max_steps ?(prologue = []) ?snapshots
+(* --- the resilience driver -------------------------------------------- *)
+
+let no_retry =
+  { Resilience.max_retries = 0; quorum = 1; backoff_base = 0. }
+
+(* Verdict equivalence class for quorum voting: failures vote by their
+   concrete failure (symptom and faulting instruction), every other
+   verdict by its name. *)
+let verdict_class (o : Hypervisor.Controller.outcome) =
+  match o.verdict with
+  | Hypervisor.Controller.Failed f -> "failed:" ^ Ksim.Failure.to_string f
+  | v -> Hypervisor.Controller.verdict_name v
+
+(* When even the retry budget cannot produce a booted run, synthesize a
+   zero-step aborted outcome: diagnosis proceeds (degraded) instead of
+   crashing or hanging. *)
+let aborted kind (vm : Hypervisor.Vm.t) =
+  { schedule_kind = kind;
+    outcome =
+      { Hypervisor.Controller.verdict = Hypervisor.Controller.Step_limit;
+        trace = [];
+        final = Ksim.Machine.create (Hypervisor.Vm.group vm);
+        steps = 0 };
+    confidence = 0. }
+
+type attempt_outcome = Clean of run | Exhausted of run option
+
+let resilient ?resilience ~kind (vm : Hypervisor.Vm.t)
+    (attempt : unit -> run) : run =
+  match Hypervisor.Vm.faults vm with
+  | None -> attempt ()
+  | Some f ->
+    let policy, stats =
+      match (resilience : Resilience.t option) with
+      | Some r -> (r.policy, Some r.stats)
+      | None -> (no_retry, None)
+    in
+    (* One clean (untainted) run, retrying tainted or boot-aborted
+       attempts with exponential backoff until the budget runs out. *)
+    let rec clean_attempt k =
+      Hypervisor.Faults.start_attempt f;
+      let res =
+        match attempt () with
+        | r -> Some r
+        | exception Hypervisor.Vm.Boot_failure -> None
+      in
+      let tainted = Hypervisor.Faults.tainted f || res = None in
+      match (tainted, res) with
+      | false, Some r -> Clean r
+      | false, None -> assert false (* a boot abort always taints *)
+      | true, _ ->
+        if k < policy.max_retries then (
+          (match stats with
+          | Some s -> s.retries <- s.retries + 1
+          | None -> ());
+          Telemetry.Probe.count "resilience.retries";
+          let delay = policy.backoff_base *. (2. ** float_of_int k) in
+          if delay > 0. then (
+            Hypervisor.Vm.penalize vm delay;
+            match stats with
+            | Some s -> s.backoff_simulated <- s.backoff_simulated +. delay
+            | None -> ());
+          clean_attempt (k + 1))
+        else Exhausted res
+    in
+    let give_up res =
+      (match stats with
+      | Some s -> s.gave_up <- s.gave_up + 1
+      | None -> ());
+      Telemetry.Probe.count "resilience.gave_up";
+      match res with
+      | Some r -> { r with confidence = 0. }
+      | None -> aborted kind vm
+    in
+    let quorum_vote first =
+      (* Gather clean runs until some verdict class holds a certain
+         majority of the quorum, voting stops early, or the retry
+         budget dies mid-quorum. *)
+      let need = (policy.quorum / 2) + 1 in
+      let votes = ref [ first ] in
+      let exhausted = ref false in
+      let count c =
+        List.length
+          (List.filter
+             (fun r -> String.equal (verdict_class r.outcome) c)
+             !votes)
+      in
+      let decided () =
+        List.exists (fun r -> count (verdict_class r.outcome) >= need) !votes
+      in
+      while
+        (not !exhausted) && (not (decided ()))
+        && List.length !votes < policy.quorum
+      do
+        match clean_attempt 0 with
+        | Clean r ->
+          (match stats with
+          | Some s -> s.quorum_runs <- s.quorum_runs + 1
+          | None -> ());
+          Telemetry.Probe.count "resilience.quorum_runs";
+          votes := !votes @ [ r ]
+        | Exhausted _ ->
+          exhausted := true;
+          (match stats with
+          | Some s -> s.gave_up <- s.gave_up + 1
+          | None -> ());
+          Telemetry.Probe.count "resilience.gave_up"
+      done;
+      (* Majority class, ties broken by earliest appearance; the
+         accepted run is the earliest clean run of that class, so a
+         genuine (unflapped) run is returned whenever the majority is
+         genuine. *)
+      let best =
+        List.fold_left
+          (fun acc r ->
+            let c = verdict_class r.outcome in
+            match acc with
+            | Some b when count b >= count c -> acc
+            | _ -> Some c)
+          None !votes
+      in
+      let best = Option.get best in
+      let representative =
+        List.find
+          (fun r -> String.equal (verdict_class r.outcome) best)
+          !votes
+      in
+      let agree = count best and tot = List.length !votes in
+      let confidence = float_of_int agree /. float_of_int tot in
+      if agree < tot then (
+        (match stats with
+        | Some s ->
+          s.quorum_disagreements <- s.quorum_disagreements + 1;
+          s.low_confidence <- s.low_confidence + 1
+        | None -> ());
+        Telemetry.Probe.count "resilience.quorum_disagreements");
+      { representative with confidence }
+    in
+    (match clean_attempt 0 with
+    | Exhausted res -> give_up res
+    | Clean r ->
+      if Hypervisor.Faults.flappy f && policy.quorum > 1 then quorum_vote r
+      else r)
+
+let run_preemption ?max_steps ?(prologue = []) ?snapshots ?resilience
     (vm : Hypervisor.Vm.t) (sched : Hypervisor.Schedule.preemption) : run =
   Telemetry.Probe.with_span ~cat:"executor" "executor.preemption"
   @@ fun () ->
   Telemetry.Probe.count "executor.preemption_runs";
-  match snapshots with
-  | Some cache when Hypervisor.Snapshots.enabled cache ->
-    let key = Hypervisor.Schedule.preemption_key sched in
-    let snaps_rev = ref [] in
-    let outcome, base =
-      match Hypervisor.Snapshots.find_preemption cache sched with
-      | Some hit ->
-        let policy, dump =
-          Hypervisor.Schedule.resume_policy ~queue:hit.resume_queue
-            ~switches:hit.resume_switches
+  let faults = Hypervisor.Vm.faults vm in
+  let attempt () =
+    (* An injected breakpoint miss rewrites the schedule the hypervisor
+       actually enforces.  A perturbed attempt must not touch the cache:
+       neither look up (the prefix belongs to the unperturbed schedule)
+       nor store (the vector would be filed under the wrong key). *)
+    let enforced, missed =
+      match faults with
+      | Some f ->
+        let switches, missed =
+          Hypervisor.Faults.drop_switches f sched.Hypervisor.Schedule.switches
         in
-        let policy = with_prologue prologue policy in
-        ( Hypervisor.Vm.resume ?max_steps ~observe:(capture dump snaps_rev)
-            vm hit.start policy,
-          hit.base )
-      | None ->
+        ({ sched with Hypervisor.Schedule.switches }, missed)
+      | None -> (sched, false)
+    in
+    match snapshots with
+    | Some cache when Hypervisor.Snapshots.enabled cache && not missed ->
+      let key = Hypervisor.Schedule.preemption_key enforced in
+      let snaps_rev = ref [] in
+      let fresh () =
         let policy, dump =
-          Hypervisor.Schedule.preemption_policy_tracked sched
+          Hypervisor.Schedule.preemption_policy_tracked enforced
         in
         let policy = with_prologue prologue policy in
         ( Hypervisor.Vm.run ?max_steps ~observe:(capture dump snaps_rev) vm
             policy,
           [||] )
-    in
-    Hypervisor.Snapshots.store cache ~key ~base ~suffix_rev:!snaps_rev;
-    { schedule_kind = `Preemption; outcome }
-  | Some _ | None ->
-    let policy =
-      with_prologue prologue (Hypervisor.Schedule.preemption_policy sched)
-    in
-    let outcome = Hypervisor.Vm.run ?max_steps vm policy in
-    { schedule_kind = `Preemption; outcome }
+      in
+      let outcome, base =
+        match Hypervisor.Snapshots.find_preemption cache enforced with
+        | Some hit ->
+          if
+            match faults with
+            | Some f -> Hypervisor.Faults.corrupt_restore f
+            | None -> false
+          then (
+            (* Detected restore corruption: poison the source vector so
+               nothing restores from it again, and degrade this run to
+               the reboot path. *)
+            Hypervisor.Snapshots.poison cache ~key:hit.vector_key;
+            fresh ())
+          else
+            let policy, dump =
+              Hypervisor.Schedule.resume_policy ~queue:hit.resume_queue
+                ~switches:hit.resume_switches
+            in
+            let policy = with_prologue prologue policy in
+            ( Hypervisor.Vm.resume ?max_steps
+                ~observe:(capture dump snaps_rev) vm hit.start policy,
+              hit.base )
+        | None -> fresh ()
+      in
+      (* A tainted run executed perturbed steps (hang truncation is
+         harmless but incomplete; a spurious switch diverges from the
+         schedule): never store its snapshots. *)
+      let store_ok =
+        match faults with
+        | Some f -> not (Hypervisor.Faults.tainted f)
+        | None -> true
+      in
+      if store_ok then
+        Hypervisor.Snapshots.store cache ~key ~base ~suffix_rev:!snaps_rev;
+      { schedule_kind = `Preemption; outcome; confidence = 1. }
+    | Some _ | None ->
+      let policy =
+        with_prologue prologue (Hypervisor.Schedule.preemption_policy enforced)
+      in
+      let outcome = Hypervisor.Vm.run ?max_steps vm policy in
+      { schedule_kind = `Preemption; outcome; confidence = 1. }
+  in
+  match faults with
+  | None -> attempt ()
+  | Some _ -> resilient ?resilience ~kind:`Preemption vm attempt
 
 (* Plan runs (Causality Analysis flips) only look snapshots up — each
    flip is executed once, so caching its own suffix buys nothing; the
    payoff is restoring the failure run's prefix under [key] instead of
    rebooting. *)
-let run_plan ?max_steps ?(prologue = []) ?snapshots (vm : Hypervisor.Vm.t)
-    (plan : Hypervisor.Schedule.plan) : run =
+let run_plan ?max_steps ?(prologue = []) ?snapshots ?resilience
+    (vm : Hypervisor.Vm.t) (plan : Hypervisor.Schedule.plan) : run =
   Telemetry.Probe.with_span ~cat:"executor" "executor.plan" @@ fun () ->
   Telemetry.Probe.count "executor.plan_runs";
-  let fresh () =
-    let policy =
-      with_prologue prologue (Hypervisor.Schedule.plan_policy plan)
+  let faults = Hypervisor.Vm.faults vm in
+  let attempt () =
+    let enforced, missed =
+      match faults with
+      | Some f -> Hypervisor.Faults.drop_plan_event f plan
+      | None -> (plan, false)
     in
-    let outcome = Hypervisor.Vm.run ?max_steps vm policy in
-    { schedule_kind = `Plan; outcome }
-  in
-  match snapshots with
-  | Some (cache, key) when Hypervisor.Snapshots.enabled cache -> (
-    match Hypervisor.Snapshots.find_plan cache ~key plan with
-    | Some hit ->
+    let fresh () =
       let policy =
-        with_prologue prologue (Hypervisor.Schedule.plan_policy hit.suffix)
+        with_prologue prologue (Hypervisor.Schedule.plan_policy enforced)
       in
-      let outcome = Hypervisor.Vm.resume ?max_steps vm hit.plan_start policy in
-      { schedule_kind = `Plan; outcome }
-    | None -> fresh ())
-  | Some _ | None -> fresh ()
+      let outcome = Hypervisor.Vm.run ?max_steps vm policy in
+      { schedule_kind = `Plan; outcome; confidence = 1. }
+    in
+    match snapshots with
+    | Some (cache, key) when Hypervisor.Snapshots.enabled cache && not missed
+      -> (
+      match Hypervisor.Snapshots.find_plan cache ~key enforced with
+      | Some hit ->
+        if
+          match faults with
+          | Some f -> Hypervisor.Faults.corrupt_restore f
+          | None -> false
+        then (
+          Hypervisor.Snapshots.poison cache ~key;
+          fresh ())
+        else
+          let policy =
+            with_prologue prologue (Hypervisor.Schedule.plan_policy hit.suffix)
+          in
+          let outcome =
+            Hypervisor.Vm.resume ?max_steps vm hit.plan_start policy
+          in
+          { schedule_kind = `Plan; outcome; confidence = 1. }
+      | None -> fresh ())
+    | Some _ | None -> fresh ()
+  in
+  match faults with
+  | None -> attempt ()
+  | Some _ -> resilient ?resilience ~kind:`Plan vm attempt
 
 (* Update the cross-run access database from a run, keyed by stable
    thread base names. *)

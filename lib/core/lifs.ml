@@ -211,7 +211,7 @@ let signature (sched : Schedule.preemption) = Schedule.preemption_key sched
    ablation of DESIGN.md §5.2 measures how many more schedules the
    search runs without it. *)
 let search ?(max_interleavings = default_max_interleavings) ?max_steps
-    ?(prologue = []) ?(prune = true) ?static_hints ?snapshots
+    ?(prologue = []) ?(prune = true) ?static_hints ?snapshots ?resilience
     (vm : Hypervisor.Vm.t) ~(target : Ksim.Failure.t -> bool) () : result =
   Telemetry.Probe.span_begin ~cat:"lifs" "lifs.search";
   let t0 = Unix.gettimeofday () in
@@ -254,7 +254,10 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
     { found; stats; db = !db; runs = List.rev !executed }
   in
   let run_sched (sched : Schedule.preemption) =
-    let r = Executor.run_preemption ?max_steps ~prologue ?snapshots vm sched in
+    let r =
+      Executor.run_preemption ?max_steps ~prologue ?snapshots ?resilience vm
+        sched
+    in
     db := Executor.learn !db r;
     executed := (sched, r.outcome) :: !executed;
     r

@@ -43,6 +43,7 @@ val search :
   ?prune:bool ->
   ?static_hints:Analysis.Summary.hints ->
   ?snapshots:Hypervisor.Snapshots.t ->
+  ?resilience:Resilience.t ->
   Hypervisor.Vm.t ->
   target:(Ksim.Failure.t -> bool) ->
   unit ->
@@ -56,4 +57,5 @@ val search :
     hint-free behaviour.  [snapshots] lets frontier expansion resume
     each child schedule from its parent's cached prefix — the explored
     schedule set and every outcome are unchanged, only re-execution is
-    avoided. *)
+    avoided.  [resilience] supplies the retry/quorum policy when the VM
+    injects faults; without faults it changes nothing. *)

@@ -92,12 +92,53 @@ let pp ppf (r : Diagnose.report) =
   (match r.chain with
   | None -> ()
   | Some chain -> Fmt.pf ppf "causality chain:@.  %a@." Chain.pp chain);
-  match r.metrics with
+  (match r.metrics with
   | None -> ()
   | Some m ->
     Fmt.pf ppf
       "conciseness: %d memory-accessing instructions, %d data races, %d in \
        chain@."
-      m.mem_accessing_instrs m.races_detected m.races_in_chain
+      m.mem_accessing_instrs m.races_detected m.races_in_chain);
+  (* Resilience lines appear only when fault injection or the resilient
+     executor actually did something, so fault-free reports stay
+     byte-identical to the pre-resilience rendering. *)
+  (if r.faults_injected > 0
+      ||
+      match r.resilience with
+      | Some res ->
+        res.Resilience.stats.retries > 0
+        || res.Resilience.stats.quorum_runs > 0
+        || res.Resilience.stats.gave_up > 0
+      | None -> false
+   then
+     let res = r.resilience in
+     Fmt.pf ppf "resilience: %d fault(s) injected%a@." r.faults_injected
+       (fun ppf -> function
+         | Some res -> Fmt.pf ppf ", %a" Resilience.pp_stats res
+         | None -> ())
+       res);
+  if r.degraded then
+    Fmt.pf ppf
+      "DEGRADED: retry budget exhausted or quorum disagreed — the chain \
+       is partial%s@."
+      (match r.chain with
+      | Some chain when not (Chain.certain (Chain.min_confidence chain)) ->
+        Fmt.str " (weakest verdict confidence ~%.0f%%)"
+          (100. *. Chain.min_confidence chain)
+      | _ -> "")
 
 let to_string r = Fmt.str "%a" pp r
+
+(* Process exit status over all diagnosed cases, for scripting:
+   0 = every case diagnosed cleanly;
+   1 = some case failed to reproduce (and was not merely degraded);
+   3 = every case reproduced (or degraded), but some diagnosis is
+       partial / low-confidence.
+   (2 is reserved for usage/configuration errors, raised by the CLI.) *)
+let exit_status (reports : Diagnose.report list) : int =
+  let clean_no_repro r =
+    (not (Diagnose.reproduced r)) && not r.Diagnose.degraded
+  in
+  if List.exists clean_no_repro reports then 1
+  else if List.exists (fun r -> r.Diagnose.degraded) reports then 3
+  else 0

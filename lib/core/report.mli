@@ -8,5 +8,16 @@ val locate : Diagnose.case -> Ksim.Access.Iid.t -> Ksim.Program.loc option
 (** Source location of an instruction in the case's programs. *)
 
 val pp_race_with_source : Diagnose.case -> Race.t Fmt.t
+
 val pp : Diagnose.report Fmt.t
+(** Fault-free reports render byte-identically to the pre-resilience
+    format; resilience/degraded lines appear only when fault injection
+    or the resilient executor actually did something. *)
+
 val to_string : Diagnose.report -> string
+
+val exit_status : Diagnose.report list -> int
+(** Process exit status over all diagnosed cases: [0] all diagnosed,
+    [1] some case cleanly failed to reproduce, [3] all reproduced or
+    degraded but some diagnosis is partial / low-confidence.  ([2] is
+    reserved for usage/configuration errors.) *)

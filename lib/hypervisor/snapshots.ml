@@ -43,7 +43,8 @@ type snap = {
 type vector = {
   snaps : snap array;  (* snaps.(k) = position after k+1 steps *)
   iids : Iid.t array;  (* iids.(k) = the (k+1)-th executed instruction *)
-  healthy : int;       (* leading snaps whose machine has not failed *)
+  mutable healthy : int;  (* leading snaps whose machine has not failed;
+                             forced to 0 when the entry is poisoned *)
   bytes : int;         (* estimated footprint, for the LRU budget *)
   mutable tick : int;  (* LRU recency stamp *)
 }
@@ -53,6 +54,8 @@ type stats = {
   mutable misses : int;
   mutable evictions : int;
   mutable restored_instrs : int;  (* prefix instructions not re-executed *)
+  mutable poisonings : int;           (* entries poisoned explicitly *)
+  mutable poisoned_refusals : int;    (* lookups refused by poisoning *)
 }
 
 type t = {
@@ -70,7 +73,9 @@ let create ?(budget_bytes = default_budget_bytes) () =
     tbl = Hashtbl.create 256;
     total_bytes = 0;
     clock = 0;
-    stats = { hits = 0; misses = 0; evictions = 0; restored_instrs = 0 } }
+    stats =
+      { hits = 0; misses = 0; evictions = 0; restored_instrs = 0;
+        poisonings = 0; poisoned_refusals = 0 } }
 
 (* A zero (or negative) budget disables the cache entirely: callers take
    the plain reboot path and behaviour is bit-identical to no cache. *)
@@ -80,6 +85,8 @@ let hits t = t.stats.hits
 let misses t = t.stats.misses
 let evictions t = t.stats.evictions
 let restored_instrs t = t.stats.restored_instrs
+let poisonings t = t.stats.poisonings
+let poisoned_refusals t = t.stats.poisoned_refusals
 let cached_vectors t = Hashtbl.length t.tbl
 let cached_bytes t = t.total_bytes
 
@@ -155,6 +162,28 @@ let store t ~key ~(base : snap array) ~(suffix_rev : snap list) =
         evict_lru t
       done))
 
+(* Explicitly poison an entry — a restore from it was detected as
+   corrupted (fault injection, or any future integrity check).  Forcing
+   [healthy] to 0 makes every future lookup refuse the vector, so
+   callers degrade to the reboot path; the entry stays resident (and
+   counted) rather than deleted, mirroring the paper's quarantined
+   snapshots. *)
+let poison t ~key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some v ->
+    if v.healthy > 0 then (
+      v.healthy <- 0;
+      t.stats.poisonings <- t.stats.poisonings + 1;
+      Telemetry.Probe.count "snapshot.poisonings")
+
+(* A lookup walked into the poisoned (or failing) region of a vector
+   and was refused: degraded-mode runs show up in [aitia stats] through
+   this counter instead of failing silently. *)
+let refuse_poisoned t =
+  t.stats.poisoned_refusals <- t.stats.poisoned_refusals + 1;
+  Telemetry.Probe.count "snapshot.poisoned_refusals"
+
 (* --- preemption lookups ----------------------------------------------- *)
 
 type preemption_hit = {
@@ -162,6 +191,7 @@ type preemption_hit = {
   resume_queue : int list;
   resume_switches : Schedule.switch list;
   base : snap array;  (* adjusted prefix snaps for re-capture *)
+  vector_key : string;  (* the vector the start was restored from *)
 }
 
 let start_of_snap (s : snap) : Controller.start =
@@ -197,7 +227,8 @@ let find_preemption t (sched : Schedule.preemption) : preemption_hit option =
       let parent =
         { sched with Schedule.switches = List.rev parent_rev }
       in
-      match lookup t (Schedule.preemption_key parent) with
+      let parent_key = Schedule.preemption_key parent in
+      match lookup t parent_key with
       | None -> None
       | Some v -> (
         match index_of_iid v.iids last.Schedule.after with
@@ -206,10 +237,11 @@ let find_preemption t (sched : Schedule.preemption) : preemption_hit option =
           None
         | Some i ->
           let s = v.snaps.(i) in
-          if i >= v.healthy || s.pending <> [] then
+          if i >= v.healthy || s.pending <> [] then (
             (* poisoned snapshot, or parent switches not all consumed
                by the divergence point: fall back to a full run *)
-            None
+            if i >= v.healthy then refuse_poisoned t;
+            None)
           else (
             hit t s;
             (* For re-capture by the resumed run: the child's pending
@@ -225,7 +257,8 @@ let find_preemption t (sched : Schedule.preemption) : preemption_hit option =
               { start = start_of_snap s;
                 resume_queue = s.queue;
                 resume_switches = [ last ];
-                base })))
+                base;
+                vector_key = parent_key })))
 
 (* --- plan lookups ------------------------------------------------------ *)
 
@@ -255,6 +288,17 @@ let find_plan t ~key (plan : Schedule.plan) : plan_hit option =
         | _ -> k
       in
       let l = matched 0 plan.Schedule.events in
+      (* Did matching stop at the healthy cap rather than a genuine
+         divergence?  Then poisoning is what refused (part of) the
+         prefix. *)
+      (if
+         l >= v.healthy
+         && l < Array.length v.iids
+         &&
+         match List.nth_opt plan.Schedule.events l with
+         | Some ev -> Iid.equal v.iids.(l) ev
+         | None -> false
+       then refuse_poisoned t);
       if l = 0 then None
       else (
         let s = v.snaps.(l - 1) in

@@ -49,12 +49,21 @@ val store : t -> key:string -> base:snap array -> suffix_rev:snap list -> unit
     [suffix_rev] is what the controller observer captured, newest
     first.  Evicts least-recently-used vectors once over budget. *)
 
+val poison : t -> key:string -> unit
+(** Mark the entry under [key] unusable — a restore from it was
+    detected as corrupted.  Future lookups refuse the whole vector (and
+    count {!poisoned_refusals}), so callers degrade gracefully to the
+    reboot path.  No-op for an absent or already-poisoned key. *)
+
 type preemption_hit = {
   start : Controller.start;  (** restored position *)
   resume_queue : int list;
   resume_switches : Schedule.switch list;
       (** exactly the child's new switch, still pending *)
   base : snap array;  (** prefix snaps, adjusted for re-capture *)
+  vector_key : string;
+      (** the cache key of the vector the start was restored from —
+          what {!poison} takes when the restore turns out corrupted *)
 }
 
 val find_preemption : t -> Schedule.preemption -> preemption_hit option
@@ -83,6 +92,15 @@ val evictions : t -> int
 
 val restored_instrs : t -> int
 (** Prefix instructions obtained by restore instead of re-execution. *)
+
+val poisonings : t -> int
+(** Entries explicitly poisoned via {!poison}. *)
+
+val poisoned_refusals : t -> int
+(** Lookups refused because the snapshot they needed lies in a
+    poisoned (or failing) region of its vector.  Also surfaced as the
+    [snapshot.poisoned_refusals] telemetry counter, so degraded-mode
+    runs are observable in [aitia stats]. *)
 
 val cached_vectors : t -> int
 val cached_bytes : t -> int

@@ -30,6 +30,7 @@ type stats = {
   mutable saved_steps : int; (* prefix instructions restored, not run *)
   mutable resumes : int;     (* runs resumed from a mid-run snapshot *)
   mutable sim_saved : float; (* modeled seconds saved by resuming *)
+  mutable penalty : float;   (* modeled seconds added by retry backoff *)
   mutable last_run_failed : bool;
 }
 
@@ -37,22 +38,32 @@ type t = {
   group : Ksim.Program.group;
   costs : cost_model;
   stats : stats;
+  faults : Faults.t option;
 }
 
-let create ?(costs = default_costs) group =
-  { group; costs;
+exception Boot_failure
+
+let create ?(costs = default_costs) ?faults group =
+  { group; costs; faults;
     stats =
       { runs = 0; failures = 0; deadlocks = 0; steps = 0; reverts = 0;
         executed = 0; saved_steps = 0; resumes = 0; sim_saved = 0.;
-        last_run_failed = false } }
+        penalty = 0.; last_run_failed = false } }
 
 let group t = t.group
+let faults t = t.faults
 
 (* Boot a fresh guest: in the paper, restore the reproducer's memory
-   snapshot. *)
+   snapshot.  An injected boot failure consumes the restore attempt and
+   raises; the executor's retry loop handles it. *)
 let boot t =
   t.stats.reverts <- t.stats.reverts + 1;
   Telemetry.Probe.count "vm.snapshot_restores";
+  (match t.faults with
+  | Some f when Faults.boot_fails f ->
+    Telemetry.Probe.count "vm.boot_failures";
+    raise Boot_failure
+  | Some _ | None -> ());
   Ksim.Machine.create t.group
 
 let record t ~executed (o : Controller.outcome) =
@@ -71,10 +82,36 @@ let record t ~executed (o : Controller.outcome) =
     t.stats.last_run_failed <- false
   | Controller.Completed -> t.stats.last_run_failed <- false)
 
+(* Per-run fault decisions: an injected hang caps the watchdog budget
+   below the caller's limit (the run is truncated but every executed
+   step is genuine), a spurious extra switch perturbs one scheduling
+   decision, and a flap rewrites the verdict after the fact.  Without
+   faults the run path is untouched. *)
+let fault_plan t ~max_steps policy =
+  match t.faults with
+  | None -> (max_steps, policy, None, Fun.id)
+  | Some f ->
+    let limit = Option.value ~default:Controller.default_max_steps max_steps in
+    let hang = Faults.plan_hang f ~max_steps:limit in
+    let capped =
+      match hang with Some h -> Some (min h limit) | None -> max_steps
+    in
+    (capped, Faults.wrap_policy f policy, hang, Faults.flap f)
+
+let settle t ~hang (o : Controller.outcome) =
+  (match (t.faults, hang) with
+  | Some f, Some h
+    when o.verdict = Controller.Step_limit && o.steps >= h ->
+    Faults.note_hang f
+  | _ -> ());
+  o
+
 (* Run one schedule on a fresh guest. *)
 let run ?max_steps ?observe t policy =
+  let max_steps, policy, hang, flap = fault_plan t ~max_steps policy in
   let m = boot t in
   let o = Controller.run ?max_steps ?observe m policy in
+  let o = flap (settle t ~hang o) in
   record t ~executed:o.steps o;
   o
 
@@ -85,12 +122,14 @@ let run ?max_steps ?observe t policy =
    [sim_saved] so that with the cache disabled the accounting is
    bit-identical to before. *)
 let resume ?max_steps ?observe t (start : Controller.start) policy =
+  let max_steps, policy, hang, flap = fault_plan t ~max_steps policy in
   t.stats.resumes <- t.stats.resumes + 1;
   t.stats.saved_steps <- t.stats.saved_steps + start.Controller.start_steps;
   if t.stats.last_run_failed then
     t.stats.sim_saved <- t.stats.sim_saved +. t.costs.per_reboot;
   Telemetry.Probe.count "vm.resumes";
   let o = Controller.resume ?max_steps ?observe start policy in
+  let o = flap (settle t ~hang o) in
   let prefix = start.Controller.start_steps in
   (if o.steps > 0 then
      let share =
@@ -100,6 +139,11 @@ let resume ?max_steps ?observe t (start : Controller.start) policy =
        t.stats.sim_saved +. Float.max 0. (share -. t.costs.per_restore));
   record t ~executed:(o.steps - prefix) o;
   o
+
+(* Modeled seconds added by the resilience layer's exponential backoff:
+   the paper's harness sleeps between reproduction attempts; ours adds
+   the delay to the cost model instead of the host clock. *)
+let penalize t seconds = t.stats.penalty <- t.stats.penalty +. seconds
 
 let runs t = t.stats.runs
 let failures t = t.stats.failures
@@ -112,7 +156,7 @@ let resumes t = t.stats.resumes
 let simulated_seconds t =
   (float_of_int t.stats.runs *. t.costs.per_schedule)
   +. (float_of_int t.stats.failures *. t.costs.per_reboot)
-  -. t.stats.sim_saved
+  -. t.stats.sim_saved +. t.stats.penalty
 
 let simulated_saved t = t.stats.sim_saved
 

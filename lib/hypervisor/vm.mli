@@ -19,16 +19,31 @@ val default_costs : cost_model
 
 type t
 
-val create : ?costs:cost_model -> Ksim.Program.group -> t
+exception Boot_failure
+(** An injected guest-boot failure (see {!Faults}); raised by {!boot}
+    and by {!run} before any step executes.  The executor's retry loop
+    is the intended handler. *)
+
+val create : ?costs:cost_model -> ?faults:Faults.t -> Ksim.Program.group -> t
+(** [faults] arms fault injection for every run of this VM; omitted,
+    all paths are bit-identical to the fault-free build. *)
+
 val group : t -> Ksim.Program.group
 
+val faults : t -> Faults.t option
+
 val boot : t -> Ksim.Machine.t
-(** A fresh guest (a snapshot restore, in the paper's terms). *)
+(** A fresh guest (a snapshot restore, in the paper's terms).
+    @raise Boot_failure when fault injection fails the boot. *)
 
 val run :
   ?max_steps:int -> ?observe:Controller.observer -> t ->
   Controller.policy -> Controller.outcome
-(** Run one schedule on a fresh guest, recording the outcome. *)
+(** Run one schedule on a fresh guest, recording the outcome.  Under
+    fault injection the run may be truncated by an injected hang
+    (verdict [Step_limit]), perturbed by a spurious extra context
+    switch, or have its verdict flapped; see {!Faults}.
+    @raise Boot_failure when fault injection fails the boot. *)
 
 val resume :
   ?max_steps:int -> ?observe:Controller.observer -> t ->
@@ -38,6 +53,11 @@ val resume :
     run exactly as [run] would report it.  The modeled cost of the
     restored prefix (and of the reboot the restore made unnecessary,
     when the previous run failed) is credited to [simulated_saved]. *)
+
+val penalize : t -> float -> unit
+(** Add modeled seconds to the cost model — the resilience layer's
+    exponential backoff between retries, charged to simulated time
+    instead of the host clock. *)
 
 val runs : t -> int
 val failures : t -> int

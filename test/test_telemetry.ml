@@ -62,6 +62,46 @@ let test_json_float_stable () =
   checks "four decimals, always" "0.1000" (J.float 0.1);
   checks "negative" "-3.5000" (J.float (-3.5))
 
+(* Parser error paths: truncation at every structural position must be
+   a clean [Error], never an exception or a silent partial value. *)
+let test_json_truncated () =
+  let bad s =
+    match J.of_string s with Ok _ -> false | Error _ -> true
+  in
+  List.iter
+    (fun s -> checkb (Fmt.str "truncated %S rejected" s) true (bad s))
+    [ "{"; "{\"a\""; "{\"a\":"; "{\"a\":1"; "{\"a\":1,"; "[";
+      "[1"; "[1,"; "\"unterminated"; "\"esc\\"; "\"\\u00"; "tru";
+      "fal"; "nul"; "-"; "1e"; "{\"a\":[1,{\"b\":"; "[[[[" ]
+
+(* Wrong-typed fields: the accessors answer [None] instead of raising,
+   so report readers degrade gracefully on schema drift. *)
+let test_json_wrong_types () =
+  let v = parse "{\"s\":\"x\",\"n\":3,\"b\":true,\"a\":[1],\"o\":{}}" in
+  let f k = J.member k v in
+  checkb "to_num on a string" true (Option.bind (f "s") J.to_num = None);
+  checkb "to_str on a number" true (Option.bind (f "n") J.to_str = None);
+  checkb "to_bool on a number" true (Option.bind (f "n") J.to_bool = None);
+  checkb "to_list on an object" true (Option.bind (f "o") J.to_list = None);
+  checkb "to_list on a scalar" true (Option.bind (f "b") J.to_list = None);
+  checkb "member on an array" true
+    (Option.bind (f "a") (J.member "x") = None);
+  checkb "member on a scalar" true
+    (Option.bind (f "n") (J.member "x") = None);
+  checkb "absent member" true (f "missing" = None)
+
+(* Duplicate keys parse (the grammar allows them); [member] answers the
+   first binding, deterministically. *)
+let test_json_duplicate_keys () =
+  let v = parse "{\"a\":1,\"b\":true,\"a\":2}" in
+  checkb "first binding wins" true (J.member "a" v = Some (J.Num 1.0));
+  checkb "other keys unaffected" true
+    (J.member "b" v = Some (J.Bool true));
+  checkb "both bindings preserved in the tree" true
+    (match v with
+    | J.Obj kvs -> List.length (List.filter (fun (k, _) -> k = "a") kvs) = 2
+    | _ -> false)
+
 (* --- probe: disabled no-op -------------------------------------------- *)
 
 let test_probe_disabled () =
@@ -396,8 +436,12 @@ let () =
           Alcotest.test_case "unicode + whitespace" `Quick
             test_json_unicode;
           Alcotest.test_case "errors" `Quick test_json_errors;
-          Alcotest.test_case "stable floats" `Quick
-            test_json_float_stable ] );
+          Alcotest.test_case "stable floats" `Quick test_json_float_stable;
+          Alcotest.test_case "truncated inputs" `Quick test_json_truncated;
+          Alcotest.test_case "wrong-typed fields" `Quick
+            test_json_wrong_types;
+          Alcotest.test_case "duplicate keys" `Quick
+            test_json_duplicate_keys ] );
       ( "probe",
         [ Alcotest.test_case "disabled is a no-op" `Quick
             test_probe_disabled;
