@@ -626,18 +626,20 @@ let analysis () =
 
 (* Flip-feasibility pruning and snapshot-cache re-execution: per bug,
    plain Causality Analysis vs the statically pruned one vs the
-   snapshot-cached pipeline — flips executed, flips pruned, schedules,
-   simulated cost, instructions actually executed and the
+   snapshot-cached pipeline vs the error-invariant engine with gain
+   scheduling — flips executed, flips pruned, schedules, simulated
+   cost, instructions actually executed and the
    schedules-per-simulated-second throughput, with the chain-parity
-   checks that make both optimisations trustworthy.  Rows land in
-   BENCH_causality.json under --json. *)
+   checks that make every optimisation trustworthy.  Rows land in
+   BENCH_causality.json under --json; the invariant columns feed the
+   CI pruning-parity gate (bench/pruning_gate.ml). *)
 let causality () =
   section
-    "Causality Analysis: flip-feasibility pruning and snapshot cache \
-     (plain vs hinted vs cached)";
-  pr "%-18s %6s | %7s %7s %7s | %8s %8s %8s | %9s %9s | %7s | %s@." "bug"
+    "Causality Analysis: flip-feasibility pruning, snapshot cache and \
+     error invariants (plain vs hinted vs cached vs invariants+gain)";
+  pr "%-18s %6s | %7s %7s %7s | %8s %8s %8s | %9s %9s | %6s %6s | %s@." "bug"
     "flips" "plain#s" "hint#s" "pruned" "plain(s)" "hint(s)" "snap(s)"
-    "plain#i" "snap#i" "sch/ss" "chain";
+    "plain#i" "snap#i" "hint#t" "inv#t" "chain";
   let rows = ref [] in
   List.iter
     (fun (bug : Bugs.Bug.t) ->
@@ -651,9 +653,14 @@ let causality () =
         Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
           ~snapshot_cache:true (bug.case ())
       in
+      let inv =
+        Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+          ~prune:`Invariants ~order:`Gain (bug.case ())
+      in
       let host_elapsed = Unix.gettimeofday () -. t0 in
-      match plain.causality, hinted.causality, snap.causality with
-      | Some pca, Some hca, Some sca ->
+      match plain.causality, hinted.causality, snap.causality, inv.causality
+      with
+      | Some pca, Some hca, Some sca, Some ica ->
         let flips = List.length pca.tested in
         let executed =
           List.length
@@ -664,6 +671,16 @@ let causality () =
         let pruned = hca.stats.flips_statically_pruned in
         let same_chain = String.equal (chain_str plain) (chain_str hinted) in
         let snap_chain = String.equal (chain_str plain) (chain_str snap) in
+        let inv_chain = String.equal (chain_str plain) (chain_str inv) in
+        (* executed-schedule totals (LIFS + CA) per pruning level; the
+           pruning-parity gate requires inv <= hinted on every bug *)
+        let hinted_total =
+          hinted.lifs.stats.schedules + hca.stats.schedules
+        in
+        let inv_total = inv.lifs.stats.schedules + ica.stats.schedules in
+        let invariant_pruned =
+          inv.lifs.stats.invariant_pruned + ica.stats.flips_invariant_pruned
+        in
         (* pipeline totals: LIFS reproduction + Causality Analysis *)
         let plain_instrs =
           plain.lifs.stats.executed_instrs + pca.stats.executed_instrs
@@ -676,11 +693,12 @@ let causality () =
         in
         let plain_rate = per_simsec pca.stats.schedules pca.stats.simulated in
         let snap_rate = per_simsec sca.stats.schedules sca.stats.simulated in
-        pr "%-18s %6d | %7d %7d %7d | %8.1f %8.1f %8.1f | %9d %9d | %7.1f | %s@."
+        pr "%-18s %6d | %7d %7d %7d | %8.1f %8.1f %8.1f | %9d %9d | %6d %6d | %s@."
           bug.id flips pca.stats.schedules hca.stats.schedules pruned
           pca.stats.simulated hca.stats.simulated sca.stats.simulated
-          plain_instrs snap_instrs snap_rate
-          (if same_chain && snap_chain then "identical" else "DIFFERS");
+          plain_instrs snap_instrs hinted_total inv_total
+          (if same_chain && snap_chain && inv_chain then "identical"
+           else "DIFFERS");
         let open Analysis.Report_json in
         rows :=
           obj
@@ -709,7 +727,18 @@ let causality () =
               ("snap_chain_identical", bool snap_chain);
               ("snap_reduces_sim",
                bool (sca.stats.simulated < pca.stats.simulated));
-              ("snap_reduces_instrs", bool (snap_instrs < plain_instrs)) ]
+              ("snap_reduces_instrs", bool (snap_instrs < plain_instrs));
+              ("executed_schedules", int hinted_total);
+              ("inv_lifs_schedules", int inv.lifs.stats.schedules);
+              ("inv_ca_schedules", int ica.stats.schedules);
+              ("inv_executed_schedules", int inv_total);
+              ("invariant_pruned", int invariant_pruned);
+              ("gain_reorderings",
+               int
+                 (inv.lifs.stats.gain_reorderings
+                 + ica.stats.gain_reorderings));
+              ("inv_chain_identical", bool inv_chain);
+              ("inv_fewer", bool (inv_total < hinted_total)) ]
           :: !rows
       | _ -> pr "%-18s not diagnosed@." bug.id)
     (Bugs.Registry.cves @ Bugs.Registry.syzkaller);

@@ -257,15 +257,15 @@ let resilience_for (o : exec_opts) : Aitia.Resilience.policy option =
       { Aitia.Resilience.max_retries; quorum;
         backoff_base = Aitia.Resilience.default_policy.backoff_base }
 
-let diagnose_bug ?static_hints ?snapshot_cache ?opts ?journal
+let diagnose_bug ?static_hints ?prune ?order ?snapshot_cache ?opts ?journal
     (bug : Bugs.Bug.t) =
   let faults = Option.bind opts faults_for in
   let resilience = Option.bind opts resilience_for in
   let max_steps = Option.bind opts (fun o -> o.step_timeout) in
   let snapshot_budget = Option.bind opts (fun o -> o.snapshot_budget) in
   Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
-    ?static_hints ?snapshot_cache ?snapshot_budget ?max_steps ?faults
-    ?resilience ?journal (bug.case ())
+    ?static_hints ?prune ?order ?snapshot_cache ?snapshot_budget ?max_steps
+    ?faults ?resilience ?journal (bug.case ())
 
 let snapshot_cache_flag =
   Cmdliner.Arg.(
@@ -279,6 +279,41 @@ let snapshot_cache_flag =
            and chains are bit-identical with or without the cache; only \
            re-execution is avoided (see the snapshot.* counters under \
            `stats')")
+
+(* Static-proof level and schedule-order selection, shared by diagnose
+   and stats.  --static-hints survives as a deprecated alias for
+   --prune=flipfeas. *)
+let prune_arg =
+  Cmdliner.Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [ ("none", `None); ("flipfeas", `Flipfeas);
+                ("invariants", `Invariants) ]))
+        None
+    & info [ "prune" ] ~docv:"LEVEL"
+        ~doc:
+          "Static proofs that may skip a re-execution: $(b,none) runs \
+           everything; $(b,flipfeas) enables the lockset/MHP hints and \
+           the flip-feasibility pre-analysis (same as the deprecated \
+           $(b,--static-hints)); $(b,invariants) adds the \
+           error-invariant engine — flip families are discharged by \
+           segment/replay certificates and LIFS runs one \
+           representative per invariant-equivalent frontier class.  \
+           Causality chains are identical at every level")
+
+let order_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (enum [ ("backward", `Fixed); ("gain", `Gain) ]) `Fixed
+    & info [ "order" ] ~docv:"ORDER"
+        ~doc:
+          "Schedule-selection order: $(b,backward) is the paper's fixed \
+           order (flips latest-first, LIFS breadth-first); $(b,gain) \
+           ranks candidates by expected information gain — closest to \
+           even odds first, updated by the verdicts and reproduction \
+           attempts the session accumulates")
 
 (* --- list ------------------------------------------------------------- *)
 
@@ -308,17 +343,18 @@ let diagnose_cmd =
   let hints =
     Arg.(value & flag
          & info [ "static-hints" ]
-             ~doc:"Seed LIFS with the static lockset/MHP analysis: the \
-                   frontier is visited Unguarded-first and statically \
-                   Guarded candidate preemptions are skipped")
+             ~doc:"Deprecated alias for $(b,--prune=flipfeas): seed LIFS \
+                   with the static lockset/MHP analysis and enable the \
+                   flip-feasibility pre-analysis")
   in
-  let run () ids show_flips static_hints snapshot_cache opts =
+  let run () ids show_flips static_hints prune order snapshot_cache opts =
     let journal = setup_journal opts in
     let reports =
       List.map
         (fun bug ->
           let report =
-            diagnose_bug ~static_hints ~snapshot_cache ~opts ?journal bug
+            diagnose_bug ~static_hints ?prune ~order ~snapshot_cache ~opts
+              ?journal bug
           in
           Fmt.pr "%a@." Aitia.Report.pp report;
           (if show_flips then
@@ -350,8 +386,8 @@ let diagnose_cmd =
              ~doc:
                "diagnosis degraded: retry budget exhausted or quorum \
                 disagreement, the chain is partial" ])
-    Term.(const run $ setup_logs $ bug_arg $ flips $ hints
-          $ snapshot_cache_flag $ exec_opts_term)
+    Term.(const run $ setup_logs $ bug_arg $ flips $ hints $ prune_arg
+          $ order_arg $ snapshot_cache_flag $ exec_opts_term)
 
 (* --- analyze ---------------------------------------------------------- *)
 
@@ -366,14 +402,26 @@ let serial_names (case : Aitia.Diagnose.case) =
   |> List.sort_uniq String.compare
 
 let analyze_cmd =
-  let run () ids =
+  let run () ids prune =
+    let with_invariants = prune = Some `Invariants in
     let reports =
       List.map
         (fun (bug : Bugs.Bug.t) ->
           let case = bug.case () in
           let serial = serial_names case in
-          Analysis.Report_json.to_string
-            (Analysis.Candidates.analyze ~serial case.group))
+          let candidates =
+            Analysis.Report_json.to_string
+              (Analysis.Candidates.analyze ~serial case.group)
+          in
+          if with_invariants then
+            let rel = Analysis.Absdom.of_group case.group in
+            Analysis.Report_json.obj
+              [ ("analysis", candidates);
+                ("invariants",
+                 Analysis.Report_json.invariants_to_string rel
+                   (Analysis.Invariants.redundant_sections ~relevance:rel
+                      case.group)) ]
+          else candidates)
         (resolve ids)
     in
     Fmt.pr "[%s]@." (String.concat "," reports);
@@ -384,8 +432,11 @@ let analyze_cmd =
        ~doc:"Static lockset / may-happen-in-parallel analysis of a \
              case's kernel programs, as JSON: every memory-accessing \
              site with its must/may locksets and every conflicting pair \
-             classified Guarded, Unguarded or Ambiguous")
-    Term.(const run $ setup_logs $ bug_arg)
+             classified Guarded, Unguarded or Ambiguous.  With \
+             $(b,--prune=invariants) the report additionally carries \
+             the error-invariant section: the failure-relevance closure \
+             and the critical sections it proves redundant")
+    Term.(const run $ setup_logs $ bug_arg $ prune_arg)
 
 (* --- lint ------------------------------------------------------------- *)
 
@@ -401,21 +452,30 @@ let lint_cmd =
         (fun (bug : Bugs.Bug.t) ->
           let case = bug.case () in
           let serial = serial_names case in
-          (bug, Analysis.Lockorder.analyze ~serial case.group))
+          ( bug,
+            Analysis.Lockorder.analyze ~serial case.group,
+            (* Advisory, invariant-derived: lock acquisitions whose
+               critical section provably guards nothing
+               failure-relevant.  Never affects the exit status. *)
+            Analysis.Invariants.redundant_sections case.group ))
         bugs
     in
     if json then
       Fmt.pr "[%s]@."
         (String.concat ","
            (List.map
-              (fun ((bug : Bugs.Bug.t), r) ->
+              (fun ((bug : Bugs.Bug.t), r, red) ->
                 Analysis.Report_json.obj
                   [ ("bug", Analysis.Report_json.str bug.id);
-                    ("lint", Analysis.Report_json.lint_to_string r) ])
+                    ("lint", Analysis.Report_json.lint_to_string r);
+                    ("redundant_sections",
+                     Analysis.Report_json.arr
+                       (List.map Analysis.Report_json.redundant_json red))
+                  ])
               reports))
     else
       List.iter
-        (fun ((bug : Bugs.Bug.t), r) ->
+        (fun ((bug : Bugs.Bug.t), r, red) ->
           let ls = Analysis.Summary.lint_stats r in
           Fmt.pr "%-18s %a%s@." bug.id Analysis.Summary.pp_lint_stats ls
             (if Analysis.Summary.clean ls then "" else "  [FLAGGED]");
@@ -425,7 +485,12 @@ let lint_cmd =
           List.iter
             (fun v ->
               Fmt.pr "  inversion: %a@." Analysis.Lockorder.pp_inversion v)
-            r.inversions)
+            r.inversions;
+          List.iter
+            (fun s ->
+              Fmt.pr "  redundant lock: %a@." Analysis.Invariants.pp_redundant
+                s)
+            red)
         reports;
     0
   in
@@ -434,7 +499,9 @@ let lint_cmd =
        ~doc:"Lockdep-style static lock-order lint: build the cross-thread \
              lock-acquisition-order graph from the per-instruction \
              locksets, report cycles (potential ABBA deadlocks) with \
-             witness paths and guarded-publication inversions")
+             witness paths, guarded-publication inversions, and \
+             (advisory) lock acquisitions whose critical section the \
+             error-invariant engine proves redundant")
     Term.(const run $ setup_logs $ bug_arg $ json)
 
 (* --- stats ------------------------------------------------------------ *)
@@ -443,8 +510,9 @@ let stats_cmd =
   let hints =
     Arg.(value & flag
          & info [ "static-hints" ]
-             ~doc:"Diagnose with the static lockset/MHP and \
-                   flip-feasibility hints enabled")
+             ~doc:"Deprecated alias for $(b,--prune=flipfeas): diagnose \
+                   with the static lockset/MHP and flip-feasibility \
+                   hints enabled")
   in
   let json =
     Arg.(value & flag
@@ -452,7 +520,7 @@ let stats_cmd =
              ~doc:"Emit one flat metrics JSON object per bug instead of \
                    the table")
   in
-  let run () ids static_hints snapshot_cache json opts =
+  let run () ids static_hints prune order snapshot_cache json opts =
     let journal = setup_journal opts in
     let reports = ref [] in
     List.iter
@@ -469,7 +537,8 @@ let stats_cmd =
         in
         let report =
           Telemetry.Probe.with_sink sink (fun () ->
-              diagnose_bug ~static_hints ~snapshot_cache ~opts ?journal bug)
+              diagnose_bug ~static_hints ?prune ~order ~snapshot_cache ~opts
+                ?journal bug)
         in
         reports := report :: !reports;
         if json then
@@ -503,8 +572,8 @@ let stats_cmd =
        ~doc:"Diagnose under a telemetry recorder and print the collected \
              metrics: schedule/flip/instruction counters and per-span \
              wall-time rollups")
-    Term.(const run $ setup_logs $ bug_arg $ hints $ snapshot_cache_flag
-          $ json $ exec_opts_term)
+    Term.(const run $ setup_logs $ bug_arg $ hints $ prune_arg $ order_arg
+          $ snapshot_cache_flag $ json $ exec_opts_term)
 
 (* --- chain ------------------------------------------------------------ *)
 

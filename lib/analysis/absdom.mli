@@ -1,0 +1,34 @@
+(** Failure-relevance closure over abstract locations: the abstract
+    domain the error-invariant engine ({!Invariants}) reasons in.
+
+    A flow-insensitive fixpoint over the whole program group computes
+    the set of {e relevant locations} — locations whose content can
+    (transitively) influence a branch condition, a BUG_ON/WARN_ON
+    predicate, an address computation, a spawn argument or a kfree
+    target.  Reordering accesses confined to irrelevant locations
+    cannot change any thread's instruction sequence nor the failure
+    predicate's operands: that is the invariant the engine's segment
+    certificates rest on, and the criterion LIFS uses to skip frontier
+    slices. *)
+
+type t
+
+val of_group : Ksim.Program.group -> t
+(** The relevance closure of a program group (all top-level threads and
+    background entries). *)
+
+val abstract : Ksim.Addr.t -> Absaddr.t
+(** Bridge from concrete machine locations to the abstract domain:
+    [Global g] stays itself, heap fields collapse to their field name,
+    indices to [Slot], whole objects to [Whole]. *)
+
+val mem_abs : t -> Absaddr.t -> bool
+(** May the abstract location alias a relevant one? *)
+
+val mem_addr : t -> Ksim.Addr.t -> bool
+(** [mem_abs] after {!abstract}. *)
+
+val relevant : t -> Absaddr.t list
+(** The relevant locations, sorted (for reports). *)
+
+val pp : t Fmt.t

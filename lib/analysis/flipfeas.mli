@@ -38,4 +38,15 @@ val nesting_depth : Ksim.Machine.event list -> Ksim.Access.Iid.t -> int
 (** Critical-section nesting of an event: locks its thread holds when it
     executes (its own acquisition counts). *)
 
+(** {2 Register use/def helpers}
+
+    Shared with the failure-relevance closure ({!Absdom}). *)
+
+module SS : Set.S with type elt = string
+
+val expr_regs : SS.t -> Ksim.Instr.expr -> SS.t
+val addr_regs : SS.t -> Ksim.Instr.addr_expr -> SS.t
+val uses : Ksim.Instr.t -> SS.t
+val defines : Ksim.Instr.t -> string option
+
 val pp : verdict Fmt.t

@@ -99,3 +99,21 @@ let lint_to_string (r : Lockorder.report) =
       ("inversions", arr (List.map inversion_json r.inversions)) ]
 
 let pp_lint ppf r = Fmt.string ppf (lint_to_string r)
+
+(* --- error-invariant sections ------------------------------------------ *)
+
+let redundant_json (r : Invariants.redundant) =
+  obj
+    [ ("thread", str r.red_thread);
+      ("lock", str r.red_lock);
+      (* the witness segment: the section the invariant proves inert *)
+      ("witness_start", str r.red_start);
+      ("witness_stop", str r.red_stop);
+      ("body_instrs", int r.red_body) ]
+
+let invariants_to_string (rel : Absdom.t)
+    (redundant : Invariants.redundant list) =
+  obj
+    [ ("relevant_locations",
+       str_list (List.map Absaddr.to_string (Absdom.relevant rel)));
+      ("redundant_sections", arr (List.map redundant_json redundant)) ]

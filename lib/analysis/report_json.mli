@@ -37,3 +37,12 @@ val lint_to_string : Lockorder.report -> string
     their two-node witness cycles. *)
 
 val pp_lint : Lockorder.report Fmt.t
+
+val redundant_json : Invariants.redundant -> string
+(** One invariant-proven redundant critical section, with its witness
+    segment (the Lock/Unlock labels delimiting the inert body). *)
+
+val invariants_to_string : Absdom.t -> Invariants.redundant list -> string
+(** The error-invariant section of the analyze report: the
+    failure-relevance closure and the redundant critical sections it
+    proves. *)

@@ -111,3 +111,28 @@ let rank h ~a ~b =
   match Hashtbl.find_opt h (pair_key a b) with
   | None -> 3
   | Some p -> pair_rank p
+
+type pruned_kind =
+  [ `Lifs_equivalent
+  | `Lifs_static
+  | `Lifs_invariant
+  | `Ca_static
+  | `Ca_invariant ]
+
+let pruned_counter = function
+  | `Lifs_equivalent -> "pruned/lifs_equivalent"
+  | `Lifs_static -> "pruned/lifs_static"
+  | `Lifs_invariant -> "pruned/lifs_invariant"
+  | `Ca_static -> "pruned/ca_static"
+  | `Ca_invariant -> "pruned/ca_invariant"
+
+let pruned_alias = function
+  | `Lifs_equivalent -> "lifs.schedules_pruned"
+  | `Lifs_static -> "lifs.schedules_statically_skipped"
+  | `Lifs_invariant -> "lifs.invariant_pruned_slices"
+  | `Ca_static -> "causality.flips_statically_pruned"
+  | `Ca_invariant -> "causality.invariant_pruned_flips"
+
+let count_pruned ?by kind =
+  Telemetry.Probe.count ?by (pruned_counter kind);
+  Telemetry.Probe.count ?by (pruned_alias kind)

@@ -51,3 +51,28 @@ val rank : hints -> a:string * string -> b:string * string -> int
     unknown 3, [Guarded] {!guarded_rank} (prunable). *)
 
 val guarded_rank : int
+
+(** {2 Unified pruning-counter namespace}
+
+    LIFS and Causality historically emitted differently-shaped counter
+    names ([lifs.schedules_statically_skipped],
+    [causality.flips_statically_pruned]).  Every pruning source now
+    also emits a canonical [pruned/*] name; the old names are kept as
+    deprecated aliases so committed benchmarks stay comparable. *)
+
+type pruned_kind =
+  [ `Lifs_equivalent  (** DPOR-equivalent schedules *)
+  | `Lifs_static  (** statically-skipped (Guarded) extensions *)
+  | `Lifs_invariant  (** failure-irrelevant frontier slices *)
+  | `Ca_static  (** flip-feasibility proofs *)
+  | `Ca_invariant  (** error-invariant proofs *) ]
+
+val pruned_counter : pruned_kind -> string
+(** Canonical counter name, e.g. ["pruned/ca_invariant"]. *)
+
+val pruned_alias : pruned_kind -> string
+(** The deprecated pre-unification name, e.g.
+    ["causality.flips_statically_pruned"]. *)
+
+val count_pruned : ?by:int -> pruned_kind -> unit
+(** Bump both the canonical counter and its deprecated alias. *)

@@ -49,6 +49,11 @@ type tested = {
 type stats = {
   schedules : int;
   flips_statically_pruned : int;
+  flips_invariant_pruned : int;  (* flips discharged by the error-
+                                    invariant engine (segment/replay/
+                                    family proofs) *)
+  gain_reorderings : int;  (* times the gain scheduler picked a flip
+                              out of base (backward) order *)
   elapsed : float;
   simulated : float;
   executed_instrs : int;  (* instructions executed (snapshot-restored
@@ -58,8 +63,18 @@ type stats = {
 (* The identity for [stats_base] (resumed analyses add the journaled
    progress of the interrupted run here). *)
 let zero_stats =
-  { schedules = 0; flips_statically_pruned = 0; elapsed = 0.; simulated = 0.;
-    executed_instrs = 0 }
+  { schedules = 0; flips_statically_pruned = 0; flips_invariant_pruned = 0;
+    gain_reorderings = 0; elapsed = 0.; simulated = 0.; executed_instrs = 0 }
+
+type prune = [ `None | `Flipfeas | `Invariants ]
+type order = [ `Fixed | `Gain ]
+
+(* Proofs from the error-invariant engine are distinguished from
+   flip-feasibility proofs by their reason prefix — a stable contract
+   that survives journal round-trips (the reason string is journaled,
+   the provenance is not). *)
+let invariant_reason reason =
+  String.length reason >= 9 && String.equal (String.sub reason 0 9) "invariant"
 
 type result = {
   tested : tested list;          (* in testing order *)
@@ -246,21 +261,36 @@ let survived (o : Controller.outcome) =
   | Controller.Completed -> true
   | Controller.Failed _ | Controller.Deadlock | Controller.Step_limit -> false
 
-(* Test one race: build the flip plan, statically prune it when the
-   hints prove the re-run redundant, otherwise execute the flip. *)
-let test_one ?max_steps ~prologue ~static_hints ?snapshots ?resilience
-    (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
+(* Test one race: build the flip plan, statically prune it when a proof
+   shows the re-run redundant, otherwise execute the flip.  The prune
+   cascade: flip-feasibility first (cheap, purely on the trace), then —
+   under [`Invariants] — the error-invariant engine's segment/replay/
+   family proofs. *)
+let test_one ?max_steps ~prologue ~(prune : prune) ?engine ?snapshots
+    ?resilience (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
     ~(races : Race.t list) (r : Race.t) : tested =
   let plan = flip_plan failing.trace r in
   (* Flip-feasibility pre-analysis (static hints): a flip whose re-run
      provably cannot complete is Benign without execution — the Benign
      verdict covers every non-completing outcome. *)
   let pruned =
-    if not static_hints then None
-    else
-      Analysis.Flipfeas.prunable
-        (Analysis.Flipfeas.analyze ~trace:failing.trace
-           ~plan:plan.Schedule.events ~first:r.first ~second:r.second)
+    match prune with
+    | `None -> None
+    | `Flipfeas | `Invariants -> (
+      match
+        Analysis.Flipfeas.prunable
+          (Analysis.Flipfeas.analyze ~trace:failing.trace
+             ~plan:plan.Schedule.events ~first:r.first ~second:r.second)
+      with
+      | Some _ as proof -> proof
+      | None -> (
+        match engine with
+        | Some e ->
+          Option.map fst
+            (Analysis.Invariants.prune e ~key:(Race.key r)
+               ~trace:failing.trace ~plan:plan.Schedule.events
+               ~run_through_budget:plan.Schedule.run_through_budget)
+        | None -> None))
   in
   match pruned with
   | Some reason ->
@@ -307,20 +337,43 @@ let test_one ?max_steps ~prologue ~static_hints ?snapshots ?resilience
       confidence = run.confidence }
 
 let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
-    ?snapshots ?resilience ?replay ?checkpoint ?(stats_base = zero_stats)
-    (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
-    ~(races : Race.t list) () : result =
+    ?prune:prune_opt ?(order = (`Fixed : order)) ?snapshots ?resilience
+    ?replay ?checkpoint ?(stats_base = zero_stats) (vm : Hypervisor.Vm.t)
+    ~(failing : Controller.outcome) ~(races : Race.t list) () : result =
   Telemetry.Probe.span_begin ~cat:"causality" "causality.analyze";
   let t0 = Unix.gettimeofday () in
   let runs_before = Hypervisor.Vm.runs vm in
   let instrs_before = Hypervisor.Vm.executed_steps vm in
+  (* [static_hints] is the pre-[--prune] spelling of [`Flipfeas]. *)
+  let prune : prune =
+    match prune_opt with
+    | Some p -> p
+    | None -> if static_hints then `Flipfeas else `None
+  in
+  (* The error-invariant engine replays plans on a pure machine mirror;
+     that mirror is exact only for fault-free executions, so the engine
+     stands down when the VM injects faults. *)
+  let engine =
+    match prune with
+    | `Invariants -> (
+      match Hypervisor.Vm.faults vm with
+      | None ->
+        Some
+          (Analysis.Invariants.create ?max_steps ~prologue
+             (Hypervisor.Vm.group vm))
+      | Some _ -> None)
+    | `None | `Flipfeas -> None
+  in
+  let reorderings = ref 0 in
   (* Progress so far including the journaled base of an interrupted
-     analysis; [flips_statically_pruned] is recomputed from the final
+     analysis; the pruned-flip counts are recomputed from the final
      tested list instead (adding the base would double-count replayed
      pruned flips). *)
   let current_stats () =
     { schedules = stats_base.schedules + (Hypervisor.Vm.runs vm - runs_before);
       flips_statically_pruned = 0;
+      flips_invariant_pruned = 0;
+      gain_reorderings = stats_base.gain_reorderings + !reorderings;
       elapsed = stats_base.elapsed +. (Unix.gettimeofday () -. t0);
       simulated = stats_base.simulated +. Hypervisor.Vm.simulated_seconds vm;
       executed_instrs =
@@ -340,28 +393,88 @@ let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
       ("enforced", if t.enforced then "true" else "false") ]
   in
   let executed = ref 0 in
+  let run_one (r : Race.t) : tested =
+    match match replay with Some lookup -> lookup r | None -> None with
+    | Some t ->
+      (* Verdict recovered from the diagnosis journal: no re-run. *)
+      Telemetry.Probe.count "causality.flips_replayed";
+      t
+    | None ->
+      Telemetry.Probe.span_begin ~cat:"causality" "causality.flip";
+      let t = test_one ?max_steps ~prologue ~prune ?engine ?snapshots
+          ?resilience vm ~failing ~races r in
+      (if Telemetry.Probe.installed () then
+         Telemetry.Probe.span_end ~args:(flip_args t) ());
+      if t.pruned = None then incr executed;
+      (match checkpoint with
+      | Some save -> save t (current_stats ())
+      | None -> ());
+      t
+  in
   let tested =
-    List.map
-      (fun (r : Race.t) ->
-        match
-          match replay with Some lookup -> lookup r | None -> None
-        with
-        | Some t ->
-          (* Verdict recovered from the diagnosis journal: no re-run. *)
-          Telemetry.Probe.count "causality.flips_replayed";
-          t
-        | None ->
-          Telemetry.Probe.span_begin ~cat:"causality" "causality.flip";
-          let t = test_one ?max_steps ~prologue ~static_hints ?snapshots
-              ?resilience vm ~failing ~races r in
-          (if Telemetry.Probe.installed () then
-             Telemetry.Probe.span_end ~args:(flip_args t) ());
-          if t.pruned = None then incr executed;
-          (match checkpoint with
-          | Some save -> save t (current_stats ())
-          | None -> ());
-          t)
-      ordered
+    match order with
+    | `Fixed -> List.map run_one ordered
+    | `Gain ->
+      (* Adaptive order: always flip the race whose verdict is least
+         predictable.  Rank 0 (lifetime or write-write endpoints) races
+         are the likeliest survivors; the running verdict counts feed
+         the Beta posterior, so a streak of benign verdicts drains the
+         expected information of look-alike flips.  Nested races stay
+         ahead of the races surrounding them (the ambiguity pass
+         depends on it); ties fall back to the base backward order. *)
+      let race_rank (r : Race.t) =
+        let lifetime =
+          match (r.first.addr, r.second.addr) with
+          | Ksim.Addr.Whole _, _ | _, Ksim.Addr.Whole _ -> true
+          | _ -> false
+        in
+        let ww =
+          Ksim.Access.is_write r.first && Ksim.Access.is_write r.second
+        in
+        if lifetime || ww then 0 else 1
+      in
+      let roots = ref 0 and benigns = ref 0 in
+      let acc = ref [] in
+      let remaining = ref ordered in
+      while !remaining <> [] do
+        let eligible =
+          List.filter
+            (fun r ->
+              not
+                (List.exists
+                   (fun r' ->
+                     (not (Race.equal r r')) && Race.surrounds r r')
+                   !remaining))
+            !remaining
+        in
+        let eligible = if eligible = [] then !remaining else eligible in
+        let gain_of r =
+          Analysis.Gain.flip_gain ~rank:(race_rank r) ~roots:!roots
+            ~benigns:!benigns
+        in
+        let pick, _ =
+          List.fold_left
+            (fun (best, bg) r ->
+              let g = gain_of r in
+              if bg >= g then (best, bg) else (r, g))
+            (List.hd eligible, gain_of (List.hd eligible))
+            (List.tl eligible)
+        in
+        (match !remaining with
+        | hd :: _ when not (Race.equal hd pick) ->
+          incr reorderings;
+          Telemetry.Probe.count "causality.gain_reorderings"
+        | _ -> ());
+        let t = run_one pick in
+        (* Pruned flips are proven Benign: they count as evidence. *)
+        (match t.verdict with
+        | Root_cause -> incr roots
+        | Benign -> incr benigns);
+        acc := t :: !acc;
+        remaining :=
+          List.filter (fun r -> not (Race.equal r pick)) !remaining
+      done;
+      List.rev !acc
   in
   let root_tested =
     List.filter (fun t -> t.verdict = Root_cause) tested
@@ -413,17 +526,30 @@ let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
     List.filter (fun (t : tested) -> t.ambiguous) tested
     |> List.map (fun t -> t.race)
   in
+  let invariant_pruned =
+    List.length
+      (List.filter
+         (fun (t : tested) ->
+           match t.pruned with
+           | Some reason -> invariant_reason reason
+           | None -> false)
+         tested)
+  in
   let stats =
     { (current_stats ()) with
       flips_statically_pruned =
         List.length
-          (List.filter (fun (t : tested) -> t.pruned <> None) tested) }
+          (List.filter (fun (t : tested) -> t.pruned <> None) tested)
+        - invariant_pruned;
+      flips_invariant_pruned = invariant_pruned }
   in
   if Telemetry.Probe.installed () then (
     Telemetry.Probe.count ~by:(List.length tested) "causality.flips";
     Telemetry.Probe.count ~by:!executed "causality.flips_executed";
-    Telemetry.Probe.count ~by:stats.flips_statically_pruned
-      "causality.flips_statically_pruned";
+    Analysis.Summary.count_pruned ~by:stats.flips_statically_pruned
+      `Ca_static;
+    Analysis.Summary.count_pruned ~by:stats.flips_invariant_pruned
+      `Ca_invariant;
     Telemetry.Probe.count ~by:(List.length root_causes)
       "causality.root_causes";
     Telemetry.Probe.count ~by:(List.length benign) "causality.benign_races";

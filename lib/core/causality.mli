@@ -31,8 +31,13 @@ type tested = {
 type stats = {
   schedules : int;
   flips_statically_pruned : int;
-      (** flips proven Benign by the static pre-analysis, skipped
-          before any VM execution *)
+      (** flips proven Benign by the flip-feasibility pre-analysis,
+          skipped before any VM execution *)
+  flips_invariant_pruned : int;
+      (** flips discharged by the error-invariant engine
+          (segment/replay/family proofs) *)
+  gain_reorderings : int;
+      (** times the gain scheduler picked a flip out of base order *)
   elapsed : float;
   simulated : float;
   executed_instrs : int;
@@ -42,6 +47,15 @@ type stats = {
 
 val zero_stats : stats
 (** All-zero identity for [stats_base]. *)
+
+type prune = [ `None | `Flipfeas | `Invariants ]
+(** What may skip a flip re-run: nothing, the flip-feasibility
+    pre-analysis (PR 2's [--static-hints]), or flip-feasibility plus
+    the error-invariant engine ({!Analysis.Invariants}). *)
+
+type order = [ `Fixed | `Gain ]
+(** Test order: the fixed (backward, nested-first) order, or the
+    expected-information-gain scheduler ({!Analysis.Gain}). *)
 
 type result = {
   tested : tested list;           (** in testing order *)
@@ -78,6 +92,8 @@ val analyze :
   ?prologue:int list ->
   ?direction:[ `Backward | `Forward ] ->
   ?static_hints:bool ->
+  ?prune:prune ->
+  ?order:order ->
   ?snapshots:Hypervisor.Snapshots.t * string ->
   ?resilience:Resilience.t ->
   ?replay:(Race.t -> tested option) ->
@@ -88,11 +104,18 @@ val analyze :
   races:Race.t list ->
   unit ->
   result
-(** [static_hints] (default false) enables the flip-feasibility
-    pre-analysis: flips statically proven infeasible or
-    outcome-preserving are marked Benign without a VM run and counted in
-    [stats.flips_statically_pruned].  With the default the behaviour is
-    bit-identical to the plain analysis.  [snapshots] is the cache and
+(** [prune] (default [`Flipfeas] when the legacy [static_hints] is set,
+    [`None] otherwise) selects the static-proof layers: flips proven
+    infeasible, outcome-preserving or failure-invariant are marked
+    Benign without a VM run and counted in
+    [stats.flips_statically_pruned] / [stats.flips_invariant_pruned].
+    Under [`Invariants] the error-invariant engine is created from the
+    VM's program group (and stands down when the VM injects faults,
+    where its pure replay mirror would not be exact).  [order] (default
+    [`Fixed]) selects the gain scheduler; verdicts, chains and traces
+    are unchanged by reordering — only which schedules execute earlier.
+    With the defaults the behaviour is bit-identical to the plain
+    analysis.  [snapshots] is the cache and
     the preemption key of the reproduced failure run: each flip then
     restores the snapshot just before its flipped race instead of
     rebooting and re-executing the shared prefix — verdicts, chains and

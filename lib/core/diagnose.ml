@@ -80,6 +80,7 @@ let realize (case : case) (slice : Trace.Slicer.t) :
 let empty_lifs_result () : Lifs.result =
   { found = None;
     stats = { schedules = 0; pruned = 0; static_pruned = 0;
+              invariant_pruned = 0; gain_reorderings = 0;
               interleavings = 0; elapsed = 0.; simulated = 0.;
               executed_instrs = 0 };
     db = Ksim.Kcov.empty;
@@ -102,6 +103,8 @@ let summary_of_lifs (s : Lifs.stats) : Journal.lifs_summary =
   { l_schedules = s.schedules;
     l_pruned = s.pruned;
     l_static_pruned = s.static_pruned;
+    l_invariant_pruned = s.invariant_pruned;
+    l_gain_reorderings = s.gain_reorderings;
     l_interleavings = s.interleavings;
     l_simulated = s.simulated;
     l_executed_instrs = s.executed_instrs }
@@ -112,6 +115,8 @@ let lifs_stats_of_summary (s : Journal.lifs_summary) : Lifs.stats =
   { schedules = s.l_schedules;
     pruned = s.l_pruned;
     static_pruned = s.l_static_pruned;
+    invariant_pruned = s.l_invariant_pruned;
+    gain_reorderings = s.l_gain_reorderings;
     interleavings = s.l_interleavings;
     elapsed = 0.;
     simulated = s.l_simulated;
@@ -158,12 +163,19 @@ let tested_of_flip (races : Race.t list) (fl : Journal.flip) :
         confidence = fl.f_confidence }
 
 let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
+    ?prune:prune_opt ?(order = (`Fixed : Causality.order))
     ?(snapshot_cache = false) ?snapshot_budget
     ?(slice_order = `Nearest_first) ?faults ?resilience:rpolicy ?journal
     (case : case) : report =
   Telemetry.Probe.with_span ~cat:"diagnose" "diagnose"
     ~args:[ ("case", case.case_name) ]
   @@ fun () ->
+  (* [static_hints] is the pre-[--prune] spelling of [`Flipfeas]. *)
+  let prune : Causality.prune =
+    match prune_opt with
+    | Some p -> p
+    | None -> if static_hints then `Flipfeas else `None
+  in
   (* With faults armed, a Resilience.t always exists — even a
      zero-retry policy must account give-ups and low-confidence
      verdicts so the report can say the diagnosis is degraded. *)
@@ -288,7 +300,7 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
             record ~st ~complete_ca:false)
     in
     let ca =
-      Causality.analyze ?max_steps ~prologue ~static_hints
+      Causality.analyze ?max_steps ~prologue ~prune ~order
         ?snapshots:ca_snapshots ?resilience ?replay ?checkpoint ~stats_base
         ca_vm ~failing:success.Lifs.outcome ~races:success.Lifs.races ()
     in
@@ -341,14 +353,34 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
            outside it, so slice spans are siblings in the trace. *)
         let fresh () =
           let lifs_vm = Hypervisor.Vm.create ?faults group in
+          (* Any pruning level brings the lockset hints; [`Invariants]
+             adds the failure-relevance closure of the realized slice. *)
           let hints =
-            if static_hints then Some (hints_of_group group prologue)
+            if prune <> `None then Some (hints_of_group group prologue)
             else None
+          in
+          let invariants =
+            match prune with
+            | `Invariants -> Some (Analysis.Absdom.of_group group)
+            | `None | `Flipfeas -> None
+          in
+          (* The thread holding the reported crash site, when the
+             report names one: the gain scheduler runs its start
+             orders first. *)
+          let focus =
+            match crash.Trace.Crash.location with
+            | None -> None
+            | Some label ->
+              List.find_index
+                (fun (spec : Ksim.Program.thread_spec) ->
+                  List.mem label (Ksim.Program.labels spec.program))
+                group.Ksim.Program.threads
           in
           let snapshots = make_snapshots () in
           let lifs =
             Lifs.search ?max_interleavings ?max_steps ~prologue
-              ?static_hints:hints ?snapshots ?resilience lifs_vm ~target ()
+              ?static_hints:hints ?invariants ?focus ~order ?snapshots
+              ?resilience lifs_vm ~target ()
           in
           match lifs.found with
           | None ->

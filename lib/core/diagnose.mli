@@ -52,6 +52,8 @@ val diagnose :
   ?max_interleavings:int ->
   ?max_steps:int ->
   ?static_hints:bool ->
+  ?prune:Causality.prune ->
+  ?order:Causality.order ->
   ?snapshot_cache:bool ->
   ?snapshot_budget:int ->
   ?slice_order:[ `Nearest_first | `Farthest_first ] ->
@@ -69,6 +71,14 @@ val diagnose :
     pre-analysis in {!Causality.analyze} so provably infeasible or
     outcome-preserving flips are skipped before any VM execution;
     disabled, the pipeline is identical to the hint-free behaviour.
+    [prune] supersedes it: [`None] (default), [`Flipfeas] (equivalent
+    to [static_hints:true]) or [`Invariants], which additionally runs
+    the error-invariant engine ({!Analysis.Invariants}) — flip families
+    are discharged by segment/replay certificates and LIFS skips
+    frontier candidates preempting failure-irrelevant locations.
+    [order:`Gain] replaces the fixed backward flip order and the
+    breadth-first LIFS frontier with the expected-information-gain
+    scheduler ({!Analysis.Gain}).
     [snapshot_cache] (default [false]) gives each slice attempt a
     prefix-sharing snapshot cache (budget [snapshot_budget] bytes,
     estimated): LIFS children resume from their parent's cached prefix

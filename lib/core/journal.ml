@@ -25,6 +25,8 @@ type lifs_summary = {
   l_schedules : int;
   l_pruned : int;
   l_static_pruned : int;
+  l_invariant_pruned : int;
+  l_gain_reorderings : int;
   l_interleavings : int;
   l_simulated : float;
   l_executed_instrs : int;
@@ -119,6 +121,8 @@ let lifs_json (l : lifs_summary) =
     [ ("schedules", J.int l.l_schedules);
       ("pruned", J.int l.l_pruned);
       ("static_pruned", J.int l.l_static_pruned);
+      ("invariant_pruned", J.int l.l_invariant_pruned);
+      ("gain_reorderings", J.int l.l_gain_reorderings);
       ("interleavings", J.int l.l_interleavings);
       ("simulated", J.float l.l_simulated);
       ("executed_instrs", J.int l.l_executed_instrs) ]
@@ -246,10 +250,19 @@ let flip_of_json j : flip =
     f_disappeared = get_strs "disappeared" j;
     f_confidence = get_num "confidence" j }
 
+(* Absent in journals written before the invariant/gain counters were
+   added; such runs executed without them, so zero is exact. *)
+let get_int_opt k j =
+  match Option.bind (J.member k j) J.to_num with
+  | Some f -> int_of_float f
+  | None -> 0
+
 let lifs_of_json j : lifs_summary =
   { l_schedules = get_int "schedules" j;
     l_pruned = get_int "pruned" j;
     l_static_pruned = get_int "static_pruned" j;
+    l_invariant_pruned = get_int_opt "invariant_pruned" j;
+    l_gain_reorderings = get_int_opt "gain_reorderings" j;
     l_interleavings = get_int "interleavings" j;
     l_simulated = get_num "simulated" j;
     l_executed_instrs = get_int "executed_instrs" j }

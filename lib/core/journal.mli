@@ -28,6 +28,9 @@ type lifs_summary = {
   l_schedules : int;
   l_pruned : int;
   l_static_pruned : int;
+  l_invariant_pruned : int;
+      (** 0 when replaying a journal written before the counter existed *)
+  l_gain_reorderings : int;  (** likewise optional on read, default 0 *)
   l_interleavings : int;
   l_simulated : float;
   l_executed_instrs : int;

@@ -8,6 +8,11 @@ type stats = {
   schedules : int;      (** runs actually executed *)
   pruned : int;         (** candidates skipped as equivalent *)
   static_pruned : int;  (** candidates skipped as statically Guarded *)
+  invariant_pruned : int;
+      (** candidates skipped because the preempted location cannot
+          influence the failure predicate (relevance closure) *)
+  gain_reorderings : int;
+      (** candidates the gain scheduler popped out of discovery order *)
   interleavings : int;  (** interleaving count of the failing schedule *)
   elapsed : float;      (** host wall-clock seconds *)
   simulated : float;    (** modeled guest seconds (Vm cost model) *)
@@ -42,6 +47,9 @@ val search :
   ?prologue:int list ->
   ?prune:bool ->
   ?static_hints:Analysis.Summary.hints ->
+  ?invariants:Analysis.Absdom.t ->
+  ?focus:int ->
+  ?order:[ `Fixed | `Gain ] ->
   ?snapshots:Hypervisor.Snapshots.t ->
   ?resilience:Resilience.t ->
   Hypervisor.Vm.t ->
@@ -54,7 +62,19 @@ val search :
     frontier Unguarded-first and drops candidate preemptions whose every
     conflicting target pair is statically Guarded (counted in
     [static_pruned]); omitting it leaves the search bit-identical to the
-    hint-free behaviour.  [snapshots] lets frontier expansion resume
+    hint-free behaviour.  [invariants] (the failure-relevance closure of
+    {!Analysis.Absdom}) additionally groups candidates into invariant
+    classes — anchors separated only by straight-line instructions
+    whose shared accesses hit irrelevant globals yield executions the
+    error invariant proves failure-equivalent — and runs only each
+    class representative (members are counted in [invariant_pruned]).
+    [order:`Gain] replaces the breadth-first phases with a best-first
+    queue ordered by expected information gain ({!Analysis.Gain}): one
+    serial run seeds the race database, then promising preemptions run
+    before the remaining serial orders, executed runs are re-extended
+    as later serials complete the database, and sites that keep failing
+    to reproduce decay.  [focus] (the thread holding the reported crash
+    site) runs the serial orders starting with that thread first.  [snapshots] lets frontier expansion resume
     each child schedule from its parent's cached prefix — the explored
     schedule set and every outcome are unchanged, only re-execution is
     avoided.  [resilience] supplies the retry/quorum policy when the VM

@@ -3,18 +3,29 @@
 
 let pp_lifs_stats ppf (s : Lifs.stats) =
   Fmt.pf ppf
-    "LIFS: %d schedule(s), %d pruned%a, interleaving count %d, %.1f \
+    "LIFS: %d schedule(s), %d pruned%a%a%a, interleaving count %d, %.1f \
      simulated s"
     s.schedules s.pruned
     (fun ppf n ->
       if n > 0 then Fmt.pf ppf " (+%d statically guarded)" n)
-    s.static_pruned s.interleavings s.simulated
+    s.static_pruned
+    (fun ppf n ->
+      if n > 0 then Fmt.pf ppf " (+%d invariant-pruned)" n)
+    s.invariant_pruned
+    (fun ppf n -> if n > 0 then Fmt.pf ppf " (%d gain reorderings)" n)
+    s.gain_reorderings s.interleavings s.simulated
 
 let pp_ca_stats ppf (s : Causality.stats) =
-  Fmt.pf ppf "Causality Analysis: %d schedule(s)%s, %.1f simulated s"
+  Fmt.pf ppf "Causality Analysis: %d schedule(s)%s%s%s, %.1f simulated s"
     s.schedules
     (if s.flips_statically_pruned > 0 then
        Fmt.str " (+%d flip(s) statically pruned)" s.flips_statically_pruned
+     else "")
+    (if s.flips_invariant_pruned > 0 then
+       Fmt.str " (+%d flip(s) invariant-pruned)" s.flips_invariant_pruned
+     else "")
+    (if s.gain_reorderings > 0 then
+       Fmt.str " (%d gain reorderings)" s.gain_reorderings
      else "")
     s.simulated
 

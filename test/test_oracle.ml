@@ -16,7 +16,6 @@
    iteration count (both read by qcheck-alcotest).  Failing cases are
    appended to oracle_counterexamples.txt for CI artifact upload. *)
 
-open Ksim.Program.Build
 module Iid = Ksim.Access.Iid
 module Schedule = Hypervisor.Schedule
 module Snapshots = Hypervisor.Snapshots
@@ -144,24 +143,7 @@ let lifs_with_cache ?max_interleavings group =
 
 let counterexample_file = "oracle_counterexamples.txt"
 
-let render_group (group : Ksim.Program.group) =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf (Fmt.str "group %s@." group.group_name);
-  List.iter
-    (fun (gv, v) ->
-      Buffer.add_string buf (Fmt.str "  global %s = %a@." gv Ksim.Value.pp v))
-    group.globals;
-  List.iter
-    (fun (t : Ksim.Program.thread_spec) ->
-      Buffer.add_string buf (Fmt.str "  thread %s:@." t.spec_name);
-      let p = t.program in
-      for i = 0 to Ksim.Program.length p - 1 do
-        let l = Ksim.Program.get p i in
-        Buffer.add_string buf
-          (Fmt.str "    %s: %a@." l.label Ksim.Instr.pp l.instr)
-      done)
-    group.threads;
-  Buffer.contents buf
+let render_group = Oracle_gen.render_group
 
 let dump_counterexample group reason =
   let oc =
@@ -174,86 +156,8 @@ let dump_counterexample group reason =
 
 (* --- generated programs ---------------------------------------------------- *)
 
-(* Tiny programs: loads/stores/assigns/forward branches over shared
-   globals — every interleaving terminates, no locks, no spawns, so the
-   oracle's enumeration and LIFS's preemption schedules range over the
-   same behaviours. *)
-let oracle_globals = [ "g0"; "g1" ]
-
-let gen_body ~prefix ~len : Ksim.Program.labeled list QCheck.Gen.t =
-  let open QCheck.Gen in
-  let* n = int_range 1 len in
-  let gen_instr i =
-    let label = Fmt.str "%s%d" prefix i in
-    let* k = int_range 0 4 in
-    let* gvar = oneofl oracle_globals in
-    match k with
-    | 0 -> return (load label "r" (g gvar))
-    | 1 ->
-      let* v = int_range 0 3 in
-      return (store label (g gvar) (cint v))
-    | 2 ->
-      let* v = int_range 0 3 in
-      return (assign label "r" (cint v))
-    | 3 when i + 1 < n ->
-      let* target = int_range (i + 1) (n - 1) in
-      let* v = int_range 0 1 in
-      return
-        (branch_if label (Eq (reg "r", cint v)) (Fmt.str "%s%d" prefix target))
-    | _ -> return (nop label)
-  in
-  let rec build i acc =
-    if i >= n then return (List.rev acc)
-    else
-      let* instr = gen_instr i in
-      build (i + 1) (instr :: acc)
-  in
-  build 0 []
-
-let gen_thread ~name ~len ~failing =
-  let open QCheck.Gen in
-  let* body = gen_body ~prefix:(String.lowercase_ascii name) ~len in
-  let* tail =
-    if not failing then return []
-    else
-      let* gvar = oneofl oracle_globals in
-      let* v = int_range 1 3 in
-      return
-        [ load (String.lowercase_ascii name ^ "_chk_ld") "r" (g gvar);
-          bug_on (String.lowercase_ascii name ^ "_chk") (Eq (reg "r", cint v)) ]
-  in
-  return
-    { Ksim.Program.spec_name = name;
-      context = Ksim.Program.Syscall { call = name; sysno = 0 };
-      program =
-        Ksim.Program.make ~name
-          ((assign (String.lowercase_ascii name ^ "_init") "r" (cint 0) :: body)
-          @ tail);
-      resources = [] }
-
-let gen_oracle_group : Ksim.Program.group QCheck.Gen.t =
-  let open QCheck.Gen in
-  let* three = frequency [ (4, return false); (1, return true) ] in
-  let* failing = bool in
-  let names = if three then [ "A"; "B"; "C" ] else [ "A"; "B" ] in
-  let len = if three then 2 else 5 in
-  let* threads =
-    List.fold_right
-      (fun name acc ->
-        let* rest = acc in
-        (* at most one thread carries the assertion, keeping failure
-           identity crisp; which one varies with the generator state *)
-        let* t = gen_thread ~name ~len ~failing:(failing && name = "A") in
-        return (t :: rest))
-      names (return [])
-  in
-  return
-    (Ksim.Program.group ~name:"oracle"
-       ~globals:(List.map (fun gv -> (gv, Ksim.Value.Int 0)) oracle_globals)
-       threads)
-
-let arb_oracle_group =
-  QCheck.make ~print:render_group gen_oracle_group
+(* The generator lives in Oracle_gen, shared with test_invariants.ml. *)
+let arb_oracle_group = Oracle_gen.arb_oracle_group
 
 let checked = ref 0
 let agreements_failing = ref 0
