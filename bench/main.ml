@@ -3,6 +3,8 @@
 
      dune exec bench/main.exe            — everything
      dune exec bench/main.exe -- LIST    — only the named targets
+     ... -- causality --jobs 4          — adds parallel speedup/parity
+                                          columns to the causality rows
 
    Targets: table1 table2 table3 table_5_3 fig1 fig3 fig5 fig6 fig7 fig9
             conciseness detector study wrongfix ablations analysis
@@ -51,6 +53,11 @@ let chain_str (r : Aitia.Diagnose.report) =
    other. *)
 let json_file : string option ref = ref None
 let json_docs : (string * string) list ref = ref []
+
+(* --jobs N: the causality target then re-runs each bug's diagnosis
+   fanned out over N pool workers and reports wall-clock speedup and
+   chain parity next to the sequential columns. *)
+let jobs_opt : int ref = ref 1
 
 let emit_json ~target doc =
   match !json_file with
@@ -641,6 +648,9 @@ let causality () =
     "flips" "plain#s" "hint#s" "pruned" "plain(s)" "hint(s)" "snap(s)"
     "plain#i" "snap#i" "hint#t" "inv#t" "chain";
   let rows = ref [] in
+  let par_seq_total = ref 0.0 in
+  let par_par_total = ref 0.0 in
+  let par_all_identical = ref true in
   List.iter
     (fun (bug : Bugs.Bug.t) ->
       let t0 = Unix.gettimeofday () in
@@ -658,6 +668,30 @@ let causality () =
           ~prune:`Invariants ~order:`Gain (bug.case ())
       in
       let host_elapsed = Unix.gettimeofday () -. t0 in
+      (* Parallel pass (--jobs N): one fresh sequential diagnosis and
+         one fanned out over N pool workers, timed back to back on the
+         same case — the chains must match and the wall-clock ratio is
+         the per-bug speedup.  Wall times measure the host, so these
+         columns are ignored by the perf gate (the parallel-parity gate
+         owns them). *)
+      let par =
+        if !jobs_opt <= 1 then None
+        else begin
+          let t0 = Unix.gettimeofday () in
+          let seq_r =
+            Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+              (bug.case ())
+          in
+          let t1 = Unix.gettimeofday () in
+          let par_r =
+            Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+              ~jobs:!jobs_opt (bug.case ())
+          in
+          let t2 = Unix.gettimeofday () in
+          Some (t1 -. t0, t2 -. t1, par_r,
+                String.equal (chain_str seq_r) (chain_str par_r))
+        end
+      in
       match plain.causality, hinted.causality, snap.causality, inv.causality
       with
       | Some pca, Some hca, Some sca, Some ica ->
@@ -699,10 +733,22 @@ let causality () =
           plain_instrs snap_instrs hinted_total inv_total
           (if same_chain && snap_chain && inv_chain then "identical"
            else "DIFFERS");
+        Option.iter
+          (fun (seq_wall, par_wall, _, par_identical) ->
+            par_seq_total := !par_seq_total +. seq_wall;
+            par_par_total := !par_par_total +. par_wall;
+            if not par_identical then par_all_identical := false;
+            pr
+              "  parallel (--jobs %d): seq %.3fs  par %.3fs  speedup \
+               %.2fx  chain %s@."
+              !jobs_opt seq_wall par_wall
+              (if par_wall > 0. then seq_wall /. par_wall else 0.)
+              (if par_identical then "identical" else "DIFFERS"))
+          par;
         let open Analysis.Report_json in
         rows :=
           obj
-            [ ("bug", str bug.id);
+            ([ ("bug", str bug.id);
               ("flips", int flips);
               ("flips_executed", int executed);
               ("flips_pruned", int pruned);
@@ -739,9 +785,46 @@ let causality () =
                  + ica.stats.gain_reorderings));
               ("inv_chain_identical", bool inv_chain);
               ("inv_fewer", bool (inv_total < hinted_total)) ]
+             @ (match par with
+              | None -> []
+              | Some (seq_wall, par_wall, par_r, par_identical) ->
+                let par_rate =
+                  match par_r.Aitia.Diagnose.causality with
+                  | Some pca ->
+                    per_simsec pca.stats.schedules pca.stats.simulated
+                  | None -> 0.
+                in
+                [ ("jobs", int !jobs_opt);
+                  ("seq_wall_s", float seq_wall);
+                  ("par_wall_s", float par_wall);
+                  ("speedup",
+                   float
+                     (if par_wall > 0. then seq_wall /. par_wall else 0.));
+                  ("par_sched_per_simsec", float par_rate);
+                  ("par_chain_identical", bool par_identical) ]))
           :: !rows
       | _ -> pr "%-18s not diagnosed@." bug.id)
     (Bugs.Registry.cves @ Bugs.Registry.syzkaller);
+  if !jobs_opt > 1 then begin
+    let speedup =
+      if !par_par_total > 0. then !par_seq_total /. !par_par_total else 0.
+    in
+    pr
+      "corpus parallel summary (--jobs %d): seq %.3fs  par %.3fs  \
+       speedup %.2fx  chains %s@."
+      !jobs_opt !par_seq_total !par_par_total speedup
+      (if !par_all_identical then "all identical" else "SOME DIFFER");
+    let open Analysis.Report_json in
+    rows :=
+      obj
+        [ ("bug", str "_corpus");
+          ("jobs", int !jobs_opt);
+          ("seq_wall_s", float !par_seq_total);
+          ("par_wall_s", float !par_par_total);
+          ("speedup", float speedup);
+          ("par_chain_identical", bool !par_all_identical) ]
+      :: !rows
+  end;
   emit_json ~target:"causality"
     (Analysis.Report_json.arr (List.rev !rows))
 
@@ -900,8 +983,15 @@ let () =
     | "--metrics-out" :: file :: rest ->
       metrics_file := Some file;
       split targets rest
-    | [ ("--json" | "--trace-out" | "--metrics-out") as flag ] ->
-      Fmt.epr "%s needs a FILE argument@." flag;
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs_opt := j
+      | _ ->
+        Fmt.epr "--jobs needs a positive integer (got %S)@." n;
+        exit 1);
+      split targets rest
+    | [ ("--json" | "--trace-out" | "--metrics-out" | "--jobs") as flag ] ->
+      Fmt.epr "%s needs an argument@." flag;
       exit 1
     | a :: rest -> split (a :: targets) rest
   in

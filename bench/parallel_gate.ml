@@ -1,0 +1,202 @@
+(* CI parallel-parity gate: diagnose the 22-bug corpus sequentially and
+   under the worker pool, and fail unless every causality chain — and
+   every per-flip verdict behind it — is bit-identical.
+
+     parallel_gate [--jobs N] [--min-speedup F] [-o FILE] [BUG...]
+
+   Three passes over the corpus:
+
+     seq     one diagnosis per bug, --jobs 1        (the baseline)
+     intra   one diagnosis per bug, --jobs N        (pool inside LIFS/CA)
+     pooled  all bugs fanned out over an N-worker
+             pool, --jobs 1 inside each             (batch-style)
+
+   Parity compares intra and pooled against seq: chain rendering,
+   reproduction flag, and the full (race key, verdict, pruned) flip
+   sequence must match per bug.  The speedup check compares the seq
+   wall clock against the pooled pass — bugs are independent, so an
+   N-core runner should approach Nx; --min-speedup 0 (the default)
+   disables it for single-core machines where only parity is
+   meaningful.  -o writes the parity/speedup report as JSON (CI uploads
+   it as an artifact on failure).
+
+   Exit: 0 parity (and speedup, if demanded) holds; 1 some chain or
+   verdict differs, or the speedup floor is missed; 2 usage error. *)
+
+module Json = Telemetry.Json
+
+let usage () =
+  Fmt.epr
+    "usage: parallel_gate [--jobs N] [--min-speedup F] [-o FILE] [BUG...]@.";
+  exit 2
+
+(* What parity means for one bug: everything the diagnosis decides,
+   rendered to comparable strings.  Host times and [stats.simulated]
+   are deliberately absent — per-flip guests lose the consecutive-run
+   reboot-avoidance credit, which is documented, not a divergence. *)
+type fingerprint = {
+  fp_reproduced : bool;
+  fp_chain : string;
+  fp_flips : string list;  (* "<race key> <verdict> <pruned?>" in order *)
+}
+
+let fingerprint_of (r : Aitia.Diagnose.report) : fingerprint =
+  { fp_reproduced = Aitia.Diagnose.reproduced r;
+    fp_chain =
+      (match r.chain with Some c -> Aitia.Chain.to_string c | None -> "-");
+    fp_flips =
+      (match r.causality with
+      | None -> []
+      | Some ca ->
+        List.map
+          (fun (t : Aitia.Causality.tested) ->
+            Fmt.str "%s %s%s" (Aitia.Race.key t.race)
+              (match t.verdict with
+              | Aitia.Causality.Root_cause -> "root"
+              | Aitia.Causality.Benign -> "benign")
+              (match t.pruned with Some p -> " pruned:" ^ p | None -> ""))
+          ca.tested) }
+
+let fp_equal a b =
+  a.fp_reproduced = b.fp_reproduced
+  && String.equal a.fp_chain b.fp_chain
+  && List.length a.fp_flips = List.length b.fp_flips
+  && List.for_all2 String.equal a.fp_flips b.fp_flips
+
+let diagnose ~jobs (bug : Bugs.Bug.t) =
+  Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings ~jobs
+    (bug.case ())
+
+let () =
+  let jobs = ref 4 in
+  let min_speedup = ref 0.0 in
+  let out = ref None in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 2 -> jobs := n
+      | _ ->
+        Fmt.epr "parallel_gate: --jobs needs an integer >= 2 (got %S)@." v;
+        exit 2);
+      parse rest
+    | "--min-speedup" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0.0 -> min_speedup := f
+      | _ ->
+        Fmt.epr "parallel_gate: bad --min-speedup %S@." v;
+        exit 2);
+      parse rest
+    | "-o" :: v :: rest ->
+      out := Some v;
+      parse rest
+    | [ ("--jobs" | "--min-speedup" | "-o") ] -> usage ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
+    | a :: rest ->
+      ids := a :: !ids;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let corpus =
+    match List.rev !ids with
+    | [] -> Bugs.Registry.cves @ Bugs.Registry.syzkaller
+    | ids ->
+      List.map
+        (fun id ->
+          match Bugs.Registry.find id with
+          | Some b -> b
+          | None ->
+            Fmt.epr "parallel_gate: unknown bug id %s@." id;
+            exit 2)
+        ids
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Fmt.pr "parallel_gate: %d bugs, --jobs %d (pool backend: %s, %d cpus)@."
+    (List.length corpus) !jobs Hypervisor.Pool.backend
+    (Hypervisor.Pool.default_jobs ());
+  let seq, seq_wall =
+    time (fun () -> List.map (fun b -> fingerprint_of (diagnose ~jobs:1 b))
+                      corpus)
+  in
+  let intra, intra_wall =
+    time (fun () ->
+        List.map (fun b -> fingerprint_of (diagnose ~jobs:!jobs b)) corpus)
+  in
+  let pooled, pooled_wall =
+    time (fun () ->
+        let pool = Hypervisor.Pool.create ~jobs:!jobs in
+        Hypervisor.Pool.map_list pool
+          (fun b -> fingerprint_of (diagnose ~jobs:1 b))
+          corpus)
+  in
+  let rows =
+    List.map2
+      (fun ((bug : Bugs.Bug.t), s) (i, p) ->
+        let intra_ok = fp_equal s i and pooled_ok = fp_equal s p in
+        if not (intra_ok && pooled_ok) then
+          Fmt.epr
+            "parallel_gate: PARITY FAILURE on %s@.  seq:    %s@.  \
+             intra:  %s@.  pooled: %s@."
+            bug.id s.fp_chain i.fp_chain p.fp_chain;
+        (bug, s, intra_ok, pooled_ok))
+      (List.combine corpus seq)
+      (List.combine intra pooled)
+  in
+  let parity_ok =
+    List.for_all (fun (_, _, i, p) -> i && p) rows
+  in
+  let speedup =
+    if pooled_wall > 0. then seq_wall /. pooled_wall else 0.
+  in
+  let intra_speedup =
+    if intra_wall > 0. then seq_wall /. intra_wall else 0.
+  in
+  let speedup_ok = speedup >= !min_speedup in
+  Fmt.pr
+    "parallel_gate: seq %.3fs  intra %.3fs (%.2fx)  pooled %.3fs \
+     (%.2fx)  parity %s  speedup floor %.2fx %s@."
+    seq_wall intra_wall intra_speedup pooled_wall speedup
+    (if parity_ok then "OK" else "FAILED")
+    !min_speedup
+    (if !min_speedup <= 0. then "(disabled)"
+     else if speedup_ok then "OK"
+     else "FAILED");
+  let doc =
+    Json.obj
+      [ ("jobs", Json.int !jobs);
+        ("backend", Json.str Hypervisor.Pool.backend);
+        ("cpus", Json.int (Hypervisor.Pool.default_jobs ()));
+        ("seq_wall_s", Json.float seq_wall);
+        ("intra_wall_s", Json.float intra_wall);
+        ("pooled_wall_s", Json.float pooled_wall);
+        ("intra_speedup", Json.float intra_speedup);
+        ("pooled_speedup", Json.float speedup);
+        ("min_speedup", Json.float !min_speedup);
+        ("parity_ok", Json.bool parity_ok);
+        ("speedup_ok", Json.bool speedup_ok);
+        ("bugs",
+         Json.arr
+           (List.map
+              (fun ((bug : Bugs.Bug.t), (s : fingerprint), i, p) ->
+                Json.obj
+                  [ ("bug", Json.str bug.id);
+                    ("reproduced", Json.bool s.fp_reproduced);
+                    ("chain", Json.str s.fp_chain);
+                    ("flips", Json.int (List.length s.fp_flips));
+                    ("intra_identical", Json.bool i);
+                    ("pooled_identical", Json.bool p) ])
+              rows)) ]
+  in
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc (doc ^ "\n");
+      close_out oc;
+      Fmt.pr "parallel_gate: report written to %s@." file)
+    !out;
+  exit (if parity_ok && speedup_ok then 0 else 1)

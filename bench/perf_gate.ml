@@ -12,9 +12,13 @@
 
 (* Host wall clock measures the CI runner, not the code; the
    schedules-per-simulated-second rates are higher-is-better, the
-   opposite of the gate's regression direction. *)
+   opposite of the gate's regression direction.  The parallel columns
+   (--jobs rows: wall times, speedup, worker count) are likewise
+   host-dependent and higher-is-better where numeric — the
+   parallel-parity gate owns them, not this one. *)
 let default_ignored =
-  [ "host_elapsed_s"; "plain_sched_per_simsec"; "snap_sched_per_simsec" ]
+  [ "host_elapsed_s"; "plain_sched_per_simsec"; "snap_sched_per_simsec";
+    "jobs"; "seq_wall_s"; "par_wall_s"; "speedup"; "par_sched_per_simsec" ]
 
 let usage () =
   Fmt.epr

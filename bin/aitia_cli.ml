@@ -6,6 +6,7 @@
    aitia lint <id> …          — static lock-order lint (cycles, inversions)
    aitia stats <id> …         — diagnose under telemetry, print the metrics
    aitia chain <id> …         — print only the causality chain
+   aitia batch <manifest>     — run a manifest of requests concurrently
    aitia fuzz <id> [--seed n] — fuzz the workload, then diagnose the crash
    aitia compare <id> …       — run the prior-work baselines on a bug
 
@@ -257,15 +258,29 @@ let resilience_for (o : exec_opts) : Aitia.Resilience.policy option =
       { Aitia.Resilience.max_retries; quorum;
         backoff_base = Aitia.Resilience.default_policy.backoff_base }
 
-let diagnose_bug ?static_hints ?prune ?order ?snapshot_cache ?opts ?journal
-    (bug : Bugs.Bug.t) =
+let diagnose_bug ?static_hints ?prune ?order ?jobs ?snapshot_cache ?opts
+    ?journal (bug : Bugs.Bug.t) =
   let faults = Option.bind opts faults_for in
   let resilience = Option.bind opts resilience_for in
   let max_steps = Option.bind opts (fun o -> o.step_timeout) in
   let snapshot_budget = Option.bind opts (fun o -> o.snapshot_budget) in
   Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
-    ?static_hints ?prune ?order ?snapshot_cache ?snapshot_budget ?max_steps
-    ?faults ?resilience ?journal (bug.case ())
+    ?static_hints ?prune ?order ?jobs ?snapshot_cache ?snapshot_budget
+    ?max_steps ?faults ?resilience ?journal (bug.case ())
+
+let jobs_arg =
+  Cmdliner.Arg.(
+    value & opt (pos_int ~what:"--jobs") 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          (Fmt.str
+             "Fan the diagnosis out over $(docv) workers (pool backend: \
+              %s): LIFS frontiers and Causality flips run in parallel \
+              shards merged deterministically, so chains and verdicts \
+              are bit-identical to $(b,--jobs 1).  Ignored under \
+              $(b,--order gain) or fault injection, where execution \
+              order feeds back into decisions"
+             Hypervisor.Pool.backend))
 
 let snapshot_cache_flag =
   Cmdliner.Arg.(
@@ -347,14 +362,15 @@ let diagnose_cmd =
                    with the static lockset/MHP analysis and enable the \
                    flip-feasibility pre-analysis")
   in
-  let run () ids show_flips static_hints prune order snapshot_cache opts =
+  let run () ids show_flips static_hints prune order jobs snapshot_cache
+      opts =
     let journal = setup_journal opts in
     let reports =
       List.map
         (fun bug ->
           let report =
-            diagnose_bug ~static_hints ?prune ~order ~snapshot_cache ~opts
-              ?journal bug
+            diagnose_bug ~static_hints ?prune ~order ~jobs ~snapshot_cache
+              ~opts ?journal bug
           in
           Fmt.pr "%a@." Aitia.Report.pp report;
           (if show_flips then
@@ -387,7 +403,7 @@ let diagnose_cmd =
                "diagnosis degraded: retry budget exhausted or quorum \
                 disagreement, the chain is partial" ])
     Term.(const run $ setup_logs $ bug_arg $ flips $ hints $ prune_arg
-          $ order_arg $ snapshot_cache_flag $ exec_opts_term)
+          $ order_arg $ jobs_arg $ snapshot_cache_flag $ exec_opts_term)
 
 (* --- analyze ---------------------------------------------------------- *)
 
@@ -520,7 +536,7 @@ let stats_cmd =
              ~doc:"Emit one flat metrics JSON object per bug instead of \
                    the table")
   in
-  let run () ids static_hints prune order snapshot_cache json opts =
+  let run () ids static_hints prune order jobs snapshot_cache json opts =
     let journal = setup_journal opts in
     let reports = ref [] in
     List.iter
@@ -537,8 +553,8 @@ let stats_cmd =
         in
         let report =
           Telemetry.Probe.with_sink sink (fun () ->
-              diagnose_bug ~static_hints ?prune ~order ~snapshot_cache ~opts
-                ?journal bug)
+              diagnose_bug ~static_hints ?prune ~order ~jobs ~snapshot_cache
+                ~opts ?journal bug)
         in
         reports := report :: !reports;
         if json then
@@ -573,15 +589,15 @@ let stats_cmd =
              metrics: schedule/flip/instruction counters and per-span \
              wall-time rollups")
     Term.(const run $ setup_logs $ bug_arg $ hints $ prune_arg $ order_arg
-          $ snapshot_cache_flag $ json $ exec_opts_term)
+          $ jobs_arg $ snapshot_cache_flag $ json $ exec_opts_term)
 
 (* --- chain ------------------------------------------------------------ *)
 
 let chain_cmd =
-  let run () ids =
+  let run () ids jobs =
     List.iter
       (fun (bug : Bugs.Bug.t) ->
-        let report = diagnose_bug bug in
+        let report = diagnose_bug ~jobs bug in
         match report.chain with
         | Some chain -> Fmt.pr "%-18s %a@." bug.id Aitia.Chain.pp chain
         | None -> Fmt.pr "%-18s (not reproduced)@." bug.id)
@@ -589,7 +605,116 @@ let chain_cmd =
     0
   in
   Cmd.v (Cmd.info "chain" ~doc:"Print only the causality chain")
-    Term.(const run $ setup_logs $ bug_arg)
+    Term.(const run $ setup_logs $ bug_arg $ jobs_arg)
+
+(* --- batch ------------------------------------------------------------ *)
+
+let batch_cmd =
+  let manifest_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"MANIFEST"
+             ~doc:
+               "JSON manifest of diagnosis requests: an array (or an \
+                object with a $(b,requests) array) of objects, each with \
+                a unique $(b,id), a corpus $(b,bug), and optional \
+                per-request knobs $(b,jobs), $(b,prune), $(b,order), \
+                $(b,snapshot_cache), $(b,snapshot_budget), \
+                $(b,fault_spec), $(b,fault_seed), $(b,max_retries), \
+                $(b,step_timeout), $(b,journal)")
+  in
+  let batch_jobs =
+    Arg.(value & opt (pos_int ~what:"--jobs") 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:
+               "Run up to $(docv) requests concurrently (pool backend: \
+                see `aitia diagnose --help'); outcomes are reported in \
+                manifest order regardless of completion order")
+  in
+  let journal_dir =
+    Arg.(value & opt (some string) None
+         & info [ "journal-dir" ] ~docv:"DIR"
+             ~doc:
+               "Give every request an isolated journal at \
+                $(docv)/<id>.journal.json (the directory is created if \
+                missing); combine with $(b,--resume) to pick an \
+                interrupted batch back up per-request")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:
+               "Load the per-request journals from $(b,--journal-dir) \
+                (or each request's $(b,journal) field) instead of \
+                truncating them")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:
+               "Write the consolidated JSON report (overall exit code \
+                plus per-request outcomes) to $(docv)")
+  in
+  let run () manifest jobs journal_dir resume out =
+    (match (resume, journal_dir) with
+    | true, None -> usage_error "batch --resume requires --journal-dir"
+    | _ -> ());
+    let requests =
+      match Aitia.Batch.manifest_of_file manifest with
+      | Ok rqs -> rqs
+      | Error e -> usage_error "bad manifest %s: %s" manifest e
+    in
+    Option.iter
+      (fun dir ->
+        if not (Sys.file_exists dir) then
+          try Sys.mkdir dir 0o755
+          with Sys_error e -> usage_error "cannot create %s: %s" dir e)
+      journal_dir;
+    let resolve id =
+      Option.map
+        (fun (b : Bugs.Bug.t) -> (b.case (), b.max_interleavings))
+        (Bugs.Registry.find id)
+    in
+    let summary =
+      Aitia.Batch.run ~jobs ?journal_dir ~resume ~resolve requests
+    in
+    Fmt.pr "%-12s %-18s %-4s %-10s %-8s %9s  %s@." "ID" "BUG" "EXIT"
+      "REPRODUCED" "DEGRADED" "ELAPSED" "CHAIN/ERROR";
+    List.iter
+      (fun (o : Aitia.Batch.outcome) ->
+        Fmt.pr "%-12s %-18s %-4d %-10s %-8s %8.2fs  %s@." o.o_id o.o_bug
+          o.o_exit
+          (if o.o_reproduced then "yes" else "no")
+          (if o.o_degraded then "yes" else "no")
+          o.o_elapsed
+          (match (o.o_error, o.o_chain) with
+          | Some e, _ -> e
+          | None, Some c -> c
+          | None, None -> "-"))
+      summary.outcomes;
+    Option.iter
+      (fun file ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc
+              (Aitia.Batch.summary_to_json summary ^ "\n")))
+      out;
+    summary.batch_exit
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a manifest of diagnosis requests with bounded concurrency \
+          and write one consolidated report"
+       ~exits:
+         [ Cmd.Exit.info 0 ~doc:"every request was diagnosed";
+           Cmd.Exit.info 1
+             ~doc:"some request cleanly failed to reproduce";
+           Cmd.Exit.info 2
+             ~doc:
+               "usage error, malformed manifest, or some request erred \
+                (unknown bug, bad fault spec, crash)";
+           Cmd.Exit.info 3 ~doc:"some request's diagnosis is degraded" ])
+    Term.(const run $ setup_logs $ manifest_arg $ batch_jobs $ journal_dir
+          $ resume $ out)
 
 (* --- fuzz ------------------------------------------------------------- *)
 
@@ -669,7 +794,7 @@ let main =
   in
   Cmd.group info
     [ list_cmd; diagnose_cmd; analyze_cmd; lint_cmd; stats_cmd; chain_cmd;
-      fuzz_cmd; compare_cmd ]
+      batch_cmd; fuzz_cmd; compare_cmd ]
 
 (* Map Cmdliner outcomes onto the documented exit codes: subcommands
    return their own status (0 / 1 / 3), and every usage or

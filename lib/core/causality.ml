@@ -261,83 +261,93 @@ let survived (o : Controller.outcome) =
   | Controller.Completed -> true
   | Controller.Failed _ | Controller.Deadlock | Controller.Step_limit -> false
 
-(* Test one race: build the flip plan, statically prune it when a proof
-   shows the re-run redundant, otherwise execute the flip.  The prune
-   cascade: flip-feasibility first (cheap, purely on the trace), then —
-   under [`Invariants] — the error-invariant engine's segment/replay/
-   family proofs. *)
+(* The static half of testing one race: flip-feasibility first (cheap,
+   purely on the trace), then — under [`Invariants] — the
+   error-invariant engine's segment/replay/family proofs.  A proof
+   makes the flip Benign without execution (the Benign verdict covers
+   every non-completing outcome).  Depends only on the failing trace
+   and the plan, never on other flips' outcomes — which is what lets
+   the parallel path run it as a sequential pre-pass. *)
+let static_proof ~(prune : prune) ?engine ~(failing : Controller.outcome)
+    (r : Race.t) (plan : Schedule.plan) : string option =
+  match prune with
+  | `None -> None
+  | `Flipfeas | `Invariants -> (
+    match
+      Analysis.Flipfeas.prunable
+        (Analysis.Flipfeas.analyze ~trace:failing.trace
+           ~plan:plan.Schedule.events ~first:r.first ~second:r.second)
+    with
+    | Some _ as proof -> proof
+    | None -> (
+      match engine with
+      | Some e ->
+        Option.map fst
+          (Analysis.Invariants.prune e ~key:(Race.key r)
+             ~trace:failing.trace ~plan:plan.Schedule.events
+             ~run_through_budget:plan.Schedule.run_through_budget)
+      | None -> None))
+
+let pruned_tested (r : Race.t) reason : tested =
+  Log.debug (fun m ->
+      m "flip %a -> statically pruned (%s)" Race.pp_short r reason);
+  { race = r;
+    verdict = Benign;
+    flip_outcome = None;
+    pruned = Some reason;
+    disappeared = [];
+    ambiguous = false;
+    enforced = false;
+    confidence = 1. }
+
+(* The dynamic half: interpret the re-run of a flip. *)
+let executed_tested ~(races : Race.t list) (r : Race.t) (run : Executor.run)
+    : tested =
+  let ok = survived run.outcome in
+  let disappeared =
+    if not ok then []
+    else
+      List.filter
+        (fun r' ->
+          (not (Race.equal r r'))
+          && not (Race.occurred_in run.outcome.trace r'))
+        races
+  in
+  let enforced =
+    Race.occurred_in run.outcome.trace
+      { Race.first = r.second; second = r.first }
+  in
+  Log.debug (fun m ->
+      m "flip %a -> %s%s" Race.pp_short r
+        (if ok then "no failure (root cause)"
+         else "still fails (benign)")
+        (if enforced then "" else " [vacuous]"));
+  { race = r;
+    verdict = (if ok then Root_cause else Benign);
+    flip_outcome = Some run.outcome;
+    pruned = None;
+    disappeared;
+    ambiguous = false;
+    enforced;
+    confidence = run.confidence }
+
+(* Test one race end to end: build the flip plan, statically prune it
+   when a proof shows the re-run redundant, otherwise execute the
+   flip. *)
 let test_one ?max_steps ~prologue ~(prune : prune) ?engine ?snapshots
     ?resilience (vm : Hypervisor.Vm.t) ~(failing : Controller.outcome)
     ~(races : Race.t list) (r : Race.t) : tested =
   let plan = flip_plan failing.trace r in
-  (* Flip-feasibility pre-analysis (static hints): a flip whose re-run
-     provably cannot complete is Benign without execution — the Benign
-     verdict covers every non-completing outcome. *)
-  let pruned =
-    match prune with
-    | `None -> None
-    | `Flipfeas | `Invariants -> (
-      match
-        Analysis.Flipfeas.prunable
-          (Analysis.Flipfeas.analyze ~trace:failing.trace
-             ~plan:plan.Schedule.events ~first:r.first ~second:r.second)
-      with
-      | Some _ as proof -> proof
-      | None -> (
-        match engine with
-        | Some e ->
-          Option.map fst
-            (Analysis.Invariants.prune e ~key:(Race.key r)
-               ~trace:failing.trace ~plan:plan.Schedule.events
-               ~run_through_budget:plan.Schedule.run_through_budget)
-        | None -> None))
-  in
-  match pruned with
-  | Some reason ->
-    Log.debug (fun m ->
-        m "flip %a -> statically pruned (%s)" Race.pp_short r reason);
-    { race = r;
-      verdict = Benign;
-      flip_outcome = None;
-      pruned;
-      disappeared = [];
-      ambiguous = false;
-      enforced = false;
-      confidence = 1. }
+  match static_proof ~prune ?engine ~failing r plan with
+  | Some reason -> pruned_tested r reason
   | None ->
     let run =
       Executor.run_plan ?max_steps ~prologue ?snapshots ?resilience vm plan
     in
-    let ok = survived run.outcome in
-    let disappeared =
-      if not ok then []
-      else
-        List.filter
-          (fun r' ->
-            (not (Race.equal r r'))
-            && not (Race.occurred_in run.outcome.trace r'))
-          races
-    in
-    let enforced =
-      Race.occurred_in run.outcome.trace
-        { Race.first = r.second; second = r.first }
-    in
-    Log.debug (fun m ->
-        m "flip %a -> %s%s" Race.pp_short r
-          (if ok then "no failure (root cause)"
-           else "still fails (benign)")
-          (if enforced then "" else " [vacuous]"));
-    { race = r;
-      verdict = (if ok then Root_cause else Benign);
-      flip_outcome = Some run.outcome;
-      pruned = None;
-      disappeared;
-      ambiguous = false;
-      enforced;
-      confidence = run.confidence }
+    executed_tested ~races r run
 
 let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
-    ?prune:prune_opt ?(order = (`Fixed : order)) ?snapshots ?resilience
+    ?prune:prune_opt ?(order = (`Fixed : order)) ?pool ?snapshots ?resilience
     ?replay ?checkpoint ?(stats_base = zero_stats) (vm : Hypervisor.Vm.t)
     ~(failing : Controller.outcome) ~(races : Race.t list) () : result =
   Telemetry.Probe.span_begin ~cat:"causality" "causality.analyze";
@@ -411,10 +421,105 @@ let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
       | None -> ());
       t
   in
+  (* Shard flips across the pool when it can help and nothing forces
+     sequential execution: the [`Gain] scheduler picks each flip from
+     the previous verdicts, and fault injection couples runs through
+     the shared fault stream, so both keep the sequential path. *)
+  let par_pool =
+    match (order, pool) with
+    | `Fixed, Some p
+      when Hypervisor.Pool.jobs p > 1 && Hypervisor.Vm.faults vm = None ->
+      Some p
+    | _ -> None
+  in
+  (* The parallel [`Fixed] path.  Phase 1 (sequential): replay journal
+     verdicts and run the static-prune cascade — both depend only on
+     the failing trace, never on other flips' outcomes, so this
+     pre-pass decides exactly the set of flips a sequential run would
+     execute.  Phase 2: execute those flips on the pool, one fresh
+     guest per flip (the paper runs 32 guests), all sharing the
+     concurrency-safe snapshot cache; a flip's verdict is a function
+     of its plan alone, so outcomes are independent of scheduling.
+     Phase 3 (sequential merge, in test order): absorb each worker
+     guest's accounting, replay its telemetry recorder, and fire the
+     journal checkpoint — making counters, spans and checkpoints
+     bit-identical in content and order to a sequential run. *)
+  let run_parallel p =
+    let pre =
+      List.map
+        (fun r ->
+          match match replay with Some lookup -> lookup r | None -> None with
+          | Some t -> `Replayed t
+          | None -> (
+            let plan = flip_plan failing.trace r in
+            match static_proof ~prune ?engine ~failing r plan with
+            | Some reason -> `Done (pruned_tested r reason)
+            | None -> `Todo (r, plan)))
+        ordered
+    in
+    let todos =
+      List.filter_map (function `Todo rp -> Some rp | _ -> None) pre
+      |> Array.of_list
+    in
+    let telemetry = Telemetry.Probe.installed () in
+    let results =
+      Hypervisor.Pool.run p
+        (fun k ->
+          let r, plan = todos.(k) in
+          let wvm = Hypervisor.Vm.create (Hypervisor.Vm.group vm) in
+          let exec () =
+            Telemetry.Probe.span_begin ~cat:"causality" "causality.flip";
+            let run =
+              Executor.run_plan ?max_steps ~prologue ?snapshots wvm plan
+            in
+            let t = executed_tested ~races r run in
+            if Telemetry.Probe.installed () then
+              Telemetry.Probe.span_end ~args:(flip_args t) ();
+            t
+          in
+          if telemetry then (
+            let rc = Telemetry.Recorder.create () in
+            let t =
+              Telemetry.Probe.with_sink (Telemetry.Recorder.sink rc) exec
+            in
+            (t, wvm, Some rc))
+          else (exec (), wvm, None))
+        (Array.length todos)
+    in
+    let next = ref 0 in
+    List.map
+      (fun pre ->
+        match pre with
+        | `Replayed t ->
+          Telemetry.Probe.count "causality.flips_replayed";
+          t
+        | `Done t ->
+          Telemetry.Probe.span_begin ~cat:"causality" "causality.flip";
+          if Telemetry.Probe.installed () then
+            Telemetry.Probe.span_end ~args:(flip_args t) ();
+          (match checkpoint with
+          | Some save -> save t (current_stats ())
+          | None -> ());
+          t
+        | `Todo _ ->
+          let t, wvm, rc = results.(!next) in
+          incr next;
+          Hypervisor.Vm.absorb vm wvm;
+          (match (rc, Telemetry.Probe.current_sink ()) with
+          | Some rc, Some sink -> Telemetry.Recorder.replay rc sink
+          | _ -> ());
+          incr executed;
+          (match checkpoint with
+          | Some save -> save t (current_stats ())
+          | None -> ());
+          t)
+      pre
+  in
   let tested =
-    match order with
-    | `Fixed -> List.map run_one ordered
-    | `Gain ->
+    match (order, par_pool) with
+    | `Fixed, Some p -> run_parallel p
+    | `Fixed, None -> List.map run_one ordered
+    | `Gain, _ ->
       (* Adaptive order: always flip the race whose verdict is least
          predictable.  Rank 0 (lifetime or write-write endpoints) races
          are the likeliest survivors; the running verdict counts feed

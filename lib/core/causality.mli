@@ -94,6 +94,7 @@ val analyze :
   ?static_hints:bool ->
   ?prune:prune ->
   ?order:order ->
+  ?pool:Hypervisor.Pool.t ->
   ?snapshots:Hypervisor.Snapshots.t * string ->
   ?resilience:Resilience.t ->
   ?replay:(Race.t -> tested option) ->
@@ -115,7 +116,17 @@ val analyze :
     [`Fixed]) selects the gain scheduler; verdicts, chains and traces
     are unchanged by reordering — only which schedules execute earlier.
     With the defaults the behaviour is bit-identical to the plain
-    analysis.  [snapshots] is the cache and
+    analysis.
+
+    [pool] shards flip re-runs across workers under [`Fixed] order
+    without faults (a sequential pre-pass replays/prunes, the pool
+    executes the surviving flips on one fresh guest each, and the
+    merge walks shard indices in test order) — the tested list,
+    chains, telemetry counters and checkpoint sequence are
+    bit-identical to a sequential run; only [stats.simulated] may
+    differ slightly, because per-flip guests lose the consecutive-run
+    reboot-avoidance credit of a single guest.  Under [`Gain] or fault
+    injection the pool is ignored.  [snapshots] is the cache and
     the preemption key of the reproduced failure run: each flip then
     restores the snapshot just before its flipped race instead of
     rebooting and re-executing the shared prefix — verdicts, chains and

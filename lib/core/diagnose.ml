@@ -164,12 +164,17 @@ let tested_of_flip (races : Race.t list) (fl : Journal.flip) :
 
 let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
     ?prune:prune_opt ?(order = (`Fixed : Causality.order))
-    ?(snapshot_cache = false) ?snapshot_budget
+    ?(jobs = 1) ?(snapshot_cache = false) ?snapshot_budget
     ?(slice_order = `Nearest_first) ?faults ?resilience:rpolicy ?journal
     (case : case) : report =
   Telemetry.Probe.with_span ~cat:"diagnose" "diagnose"
     ~args:[ ("case", case.case_name) ]
   @@ fun () ->
+  (* One worker pool for the whole diagnosis; LIFS and Causality
+     Analysis decline it themselves under [`Gain] or fault injection. *)
+  let pool =
+    if jobs > 1 then Some (Hypervisor.Pool.create ~jobs) else None
+  in
   (* [static_hints] is the pre-[--prune] spelling of [`Flipfeas]. *)
   let prune : Causality.prune =
     match prune_opt with
@@ -300,7 +305,7 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
             record ~st ~complete_ca:false)
     in
     let ca =
-      Causality.analyze ?max_steps ~prologue ~prune ~order
+      Causality.analyze ?max_steps ~prologue ~prune ~order ?pool
         ?snapshots:ca_snapshots ?resilience ?replay ?checkpoint ~stats_base
         ca_vm ~failing:success.Lifs.outcome ~races:success.Lifs.races ()
     in
@@ -379,8 +384,8 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
           let snapshots = make_snapshots () in
           let lifs =
             Lifs.search ?max_interleavings ?max_steps ~prologue
-              ?static_hints:hints ?invariants ?focus ~order ?snapshots
-              ?resilience lifs_vm ~target ()
+              ?static_hints:hints ?invariants ?focus ~order ?pool
+              ?snapshots ?resilience lifs_vm ~target ()
           in
           match lifs.found with
           | None ->

@@ -54,6 +54,7 @@ val diagnose :
   ?static_hints:bool ->
   ?prune:Causality.prune ->
   ?order:Causality.order ->
+  ?jobs:int ->
   ?snapshot_cache:bool ->
   ?snapshot_budget:int ->
   ?slice_order:[ `Nearest_first | `Farthest_first ] ->
@@ -79,6 +80,12 @@ val diagnose :
     [order:`Gain] replaces the fixed backward flip order and the
     breadth-first LIFS frontier with the expected-information-gain
     scheduler ({!Analysis.Gain}).
+    [jobs] (default 1) shares one {!Hypervisor.Pool} across the whole
+    diagnosis: LIFS frontiers and Causality flips fan out over up to
+    [jobs] workers, with results merged deterministically so chains
+    and verdicts are bit-identical to a sequential run.  The pool is
+    declined internally under [`Gain] order or fault injection, where
+    execution order feeds back into decisions.
     [snapshot_cache] (default [false]) gives each slice attempt a
     prefix-sharing snapshot cache (budget [snapshot_budget] bytes,
     estimated): LIFS children resume from their parent's cached prefix

@@ -226,9 +226,10 @@ let run_preemption ?max_steps ?(prologue = []) ?snapshots ?resilience
         let policy = with_prologue prologue policy in
         ( Hypervisor.Vm.run ?max_steps ~observe:(capture dump snaps_rev) vm
             policy,
-          [||] )
+          [||],
+          None )
       in
-      let outcome, base =
+      let outcome, base, parent =
         match Hypervisor.Snapshots.find_preemption cache enforced with
         | Some hit ->
           if
@@ -249,7 +250,11 @@ let run_preemption ?max_steps ?(prologue = []) ?snapshots ?resilience
             let policy = with_prologue prologue policy in
             ( Hypervisor.Vm.resume ?max_steps
                 ~observe:(capture dump snaps_rev) vm hit.start policy,
-              hit.base )
+              hit.base,
+              (* Remember where the base prefix came from: if that
+                 vector gets poisoned by a concurrent worker before we
+                 store, the store must be dropped. *)
+              Some (hit.vector_key, hit.parent_generation) )
         | None -> fresh ()
       in
       (* A tainted run executed perturbed steps (hang truncation is
@@ -261,7 +266,8 @@ let run_preemption ?max_steps ?(prologue = []) ?snapshots ?resilience
         | None -> true
       in
       if store_ok then
-        Hypervisor.Snapshots.store cache ~key ~base ~suffix_rev:!snaps_rev;
+        Hypervisor.Snapshots.store cache ~key ?parent ~base
+          ~suffix_rev:!snaps_rev ();
       { schedule_kind = `Preemption; outcome; confidence = 1. }
     | Some _ | None ->
       let policy =

@@ -322,11 +322,22 @@ type item = {
    search runs without it. *)
 let search ?(max_interleavings = default_max_interleavings) ?max_steps
     ?(prologue = []) ?(prune = true) ?static_hints ?invariants ?focus
-    ?(order = (`Fixed : [ `Fixed | `Gain ])) ?snapshots ?resilience
+    ?(order = (`Fixed : [ `Fixed | `Gain ])) ?pool ?snapshots ?resilience
     (vm : Hypervisor.Vm.t) ~(target : Ksim.Failure.t -> bool) () : result =
   Telemetry.Probe.span_begin ~cat:"lifs" "lifs.search";
   let t0 = Unix.gettimeofday () in
   let group = Hypervisor.Vm.group vm in
+  (* Frontier slices fan out across the pool only under [`Fixed] order
+     without faults: the gain scheduler picks each run from the
+     outcomes before it, and fault injection couples runs through the
+     shared fault stream — both stay sequential. *)
+  let par_pool =
+    match pool with
+    | Some p
+      when Hypervisor.Pool.jobs p > 1 && Hypervisor.Vm.faults vm = None ->
+      Some p
+    | _ -> None
+  in
   let n_top = List.length group.Ksim.Program.threads in
   let top = List.init n_top Fun.id in
   let interesting =
@@ -429,22 +440,118 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
     Telemetry.Probe.observe "lifs.frontier_size"
       (float_of_int (List.length frontier));
     let failed = ref None in
-    List.iter
-      (fun (equiv_sig, _rank, _site, sched) ->
-        if !failed = None then (
-          let key = signature sched in
-          if
-            Hashtbl.mem seen key
-            || (prune && Hashtbl.mem seen equiv_sig)
-          then incr pruned
-          else (
-            Hashtbl.add seen key ();
-            if prune then Hashtbl.add seen equiv_sig ();
-            let r = run_sched sched in
-            match Executor.failed r with
-            | Some f when target f -> failed := Some (sched, r.outcome, f)
-            | Some _ | None -> ())))
-      frontier;
+    (match par_pool with
+    | None ->
+      List.iter
+        (fun (equiv_sig, _rank, _site, sched) ->
+          if !failed = None then (
+            let key = signature sched in
+            if
+              Hashtbl.mem seen key
+              || (prune && Hashtbl.mem seen equiv_sig)
+            then incr pruned
+            else (
+              Hashtbl.add seen key ();
+              if prune then Hashtbl.add seen equiv_sig ();
+              let r = run_sched sched in
+              match Executor.failed r with
+              | Some f when target f -> failed := Some (sched, r.outcome, f)
+              | Some _ | None -> ())))
+        frontier
+    | Some p ->
+      (* Parallel frontier slice.  The dedup bookkeeping depends only
+         on schedule keys, never on outcomes, so a sequential pre-pass
+         decides exactly which candidates a sequential walk would run.
+         The pool then executes them in bounded waves on one fresh
+         guest each (sharing the snapshot cache), and the merge walks
+         results in frontier order: absorb accounting, replay
+         telemetry, learn the database, stop at the first run whose
+         failure matches the target.  Wave results past that point are
+         speculative — a sequential walk would never have executed
+         them — so they are discarded wholesale (no stats, no
+         telemetry, no learning) and only counted. *)
+      let decisions =
+        Array.of_list
+          (List.map
+             (fun (equiv_sig, _rank, _site, sched) ->
+               let key = signature sched in
+               if
+                 Hashtbl.mem seen key
+                 || (prune && Hashtbl.mem seen equiv_sig)
+               then `Skip
+               else (
+                 Hashtbl.add seen key ();
+                 if prune then Hashtbl.add seen equiv_sig ();
+                 `Run sched))
+             frontier)
+      in
+      let runnables =
+        let acc = ref [] in
+        Array.iteri
+          (fun pos d ->
+            match d with
+            | `Run sched -> acc := (pos, sched) :: !acc
+            | `Skip -> ())
+          decisions;
+        Array.of_list (List.rev !acc)
+      in
+      let telemetry = Telemetry.Probe.installed () in
+      let wave = max 1 (Hypervisor.Pool.jobs p * 4) in
+      let n = Array.length runnables in
+      let fail_pos = ref max_int in
+      let speculative = ref 0 in
+      let start = ref 0 in
+      while !failed = None && !start < n do
+        let len = min wave (n - !start) in
+        let base = !start in
+        let results =
+          Hypervisor.Pool.run p
+            (fun i ->
+              let _pos, sched = runnables.(base + i) in
+              let wvm = Hypervisor.Vm.create group in
+              let exec () =
+                Executor.run_preemption ?max_steps ~prologue ?snapshots wvm
+                  sched
+              in
+              if telemetry then (
+                let rc = Telemetry.Recorder.create () in
+                let r =
+                  Telemetry.Probe.with_sink (Telemetry.Recorder.sink rc) exec
+                in
+                (r, wvm, Some rc))
+              else (exec (), wvm, None))
+            len
+        in
+        Array.iteri
+          (fun i (r, wvm, rc) ->
+            if !failed = None then (
+              let pos, sched = runnables.(base + i) in
+              Hypervisor.Vm.absorb vm wvm;
+              (match (rc, Telemetry.Probe.current_sink ()) with
+              | Some rc, Some sink -> Telemetry.Recorder.replay rc sink
+              | _ -> ());
+              db := Executor.learn !db r;
+              executed := (sched, r.outcome) :: !executed;
+              match Executor.failed r with
+              | Some f when target f ->
+                failed := Some (sched, r.outcome, f);
+                fail_pos := pos
+              | Some _ | None -> ())
+            else incr speculative)
+          results;
+        start := !start + len
+      done;
+      (* The skips a sequential walk would have counted: those before
+         the failing candidate, or the whole frontier when it
+         survives. *)
+      Array.iteri
+        (fun pos d -> if pos < !fail_pos && d = `Skip then incr pruned)
+        decisions;
+      if !speculative > 0 then (
+        Telemetry.Probe.count ~by:!speculative "lifs.speculative_runs";
+        Log.debug (fun m ->
+            m "discarded %d speculative wave runs past the reproduction"
+              !speculative)));
     if Telemetry.Probe.installed () then
       Telemetry.Probe.span_end
         ~args:

@@ -50,6 +50,7 @@ val search :
   ?invariants:Analysis.Absdom.t ->
   ?focus:int ->
   ?order:[ `Fixed | `Gain ] ->
+  ?pool:Hypervisor.Pool.t ->
   ?snapshots:Hypervisor.Snapshots.t ->
   ?resilience:Resilience.t ->
   Hypervisor.Vm.t ->
@@ -74,7 +75,21 @@ val search :
     before the remaining serial orders, executed runs are re-extended
     as later serials complete the database, and sites that keep failing
     to reproduce decay.  [focus] (the thread holding the reported crash
-    site) runs the serial orders starting with that thread first.  [snapshots] lets frontier expansion resume
+    site) runs the serial orders starting with that thread first.
+
+    [pool] (under [`Fixed] order without faults; ignored otherwise)
+    executes each frontier in bounded parallel waves, one fresh guest
+    per run sharing the snapshot cache.  A sequential dedup pre-pass
+    fixes which candidates run, and the merge walks results in
+    frontier order up to the first target failure, so the reproducing
+    schedule, database, telemetry counters and run list are
+    bit-identical to a sequential search; wave results past the
+    failure are discarded (counted by the [lifs.speculative_runs]
+    telemetry counter), and [stats.simulated] may differ slightly
+    because per-run guests lose the consecutive-run reboot-avoidance
+    credit.
+
+    [snapshots] lets frontier expansion resume
     each child schedule from its parent's cached prefix — the explored
     schedule set and every outcome are unchanged, only re-execution is
     avoided.  [resilience] supplies the retry/quorum policy when the VM

@@ -28,7 +28,19 @@
      verdict; restoring it would skip the failure manifestation path.
      Lookups never return a failed snapshot — [healthy] caps how deep a
      prefix may be reused, so the faulting step itself always
-     re-executes. *)
+     re-executes.
+
+   Shared tier: every public operation takes one cache-wide lock (a
+   no-op mutex on the single-domain build), so one cache can back all
+   workers of a pool.  Machines are persistent values — restoring a
+   snapshot never mutates it — so sharing needs no copying; the only
+   new hazard under contention is the hit→store window: worker A
+   restores a prefix from a parent vector, worker B poisons that
+   vector (its restore was detected corrupted), and A would then store
+   a child vector built on the bad prefix.  Each vector therefore
+   carries a generation counter, bumped on poison; a preemption hit
+   records the parent's generation and [store ~parent] silently drops
+   the child when the recorded generation is stale. *)
 
 module Iid = Ksim.Access.Iid
 
@@ -45,6 +57,8 @@ type vector = {
   iids : Iid.t array;  (* iids.(k) = the (k+1)-th executed instruction *)
   mutable healthy : int;  (* leading snaps whose machine has not failed;
                              forced to 0 when the entry is poisoned *)
+  mutable generation : int;  (* bumped on poison; a hit records it so a
+                                later store can detect the stale prefix *)
   bytes : int;         (* estimated footprint, for the LRU budget *)
   mutable tick : int;  (* LRU recency stamp *)
 }
@@ -61,6 +75,7 @@ type stats = {
 type t = {
   budget_bytes : int;
   tbl : (string, vector) Hashtbl.t;
+  lock : Pool_backend.Lock.t;  (* guards tbl, stats, clock, totals *)
   mutable total_bytes : int;
   mutable clock : int;
   stats : stats;
@@ -71,24 +86,27 @@ let default_budget_bytes = 512 * 1024 * 1024
 let create ?(budget_bytes = default_budget_bytes) () =
   { budget_bytes;
     tbl = Hashtbl.create 256;
+    lock = Pool_backend.Lock.create ();
     total_bytes = 0;
     clock = 0;
     stats =
       { hits = 0; misses = 0; evictions = 0; restored_instrs = 0;
         poisonings = 0; poisoned_refusals = 0 } }
 
+let locked t f = Pool_backend.Lock.protect t.lock f
+
 (* A zero (or negative) budget disables the cache entirely: callers take
    the plain reboot path and behaviour is bit-identical to no cache. *)
 let enabled t = t.budget_bytes > 0
 
-let hits t = t.stats.hits
-let misses t = t.stats.misses
-let evictions t = t.stats.evictions
-let restored_instrs t = t.stats.restored_instrs
-let poisonings t = t.stats.poisonings
-let poisoned_refusals t = t.stats.poisoned_refusals
-let cached_vectors t = Hashtbl.length t.tbl
-let cached_bytes t = t.total_bytes
+let hits t = locked t (fun () -> t.stats.hits)
+let misses t = locked t (fun () -> t.stats.misses)
+let evictions t = locked t (fun () -> t.stats.evictions)
+let restored_instrs t = locked t (fun () -> t.stats.restored_instrs)
+let poisonings t = locked t (fun () -> t.stats.poisonings)
+let poisoned_refusals t = locked t (fun () -> t.stats.poisoned_refusals)
+let cached_vectors t = locked t (fun () -> Hashtbl.length t.tbl)
+let cached_bytes t = locked t (fun () -> t.total_bytes)
 
 (* Rough per-vector footprint: the persistent maps share structure
    between consecutive snapshots, so the marginal cost of a snapshot is
@@ -131,36 +149,54 @@ let evict_lru t =
 (* Store the snapshot vector of a completed preemption run.  [base] is
    the shared prefix inherited from the parent vector when the run was
    itself resumed (empty for a full run); [suffix_rev] is what the
-   controller observer captured, newest first. *)
-let store t ~key ~(base : snap array) ~(suffix_rev : snap list) =
-  if enabled t && not (Hashtbl.mem t.tbl key) then (
-    let snaps =
-      Array.append base (Array.of_list (List.rev suffix_rev))
-    in
-    if Array.length snaps > 0 then (
-      let iids =
-        Array.map
-          (fun s ->
-            match s.trace_rev with
-            | e :: _ -> e.Ksim.Machine.iid
-            | [] -> assert false (* a snap always follows >= 1 step *))
-          snaps
+   controller observer captured, newest first.  [parent] names the
+   vector (and its generation at hit time) the base prefix was restored
+   from: if that vector has been poisoned since — possible only with
+   concurrent workers — the child is built on a corrupted prefix and is
+   silently dropped.  An evicted parent does not drop the store:
+   eviction is benign and poisoned entries stay resident by design. *)
+let store t ~key ?(parent : (string * int) option) ~(base : snap array)
+    ~(suffix_rev : snap list) () =
+  locked t (fun () ->
+      let parent_fresh =
+        match parent with
+        | None -> true
+        | Some (pkey, gen) -> (
+          match Hashtbl.find_opt t.tbl pkey with
+          | None -> true
+          | Some pv -> pv.generation = gen)
       in
-      let healthy = ref (Array.length snaps) in
-      Array.iteri
-        (fun k s ->
-          if !healthy = Array.length snaps
-             && Ksim.Machine.failed s.machine <> None
-          then healthy := k)
-        snaps;
-      let bytes = estimate_bytes (Array.length snaps) in
-      let v = { snaps; iids; healthy = !healthy; bytes; tick = 0 } in
-      touch t v;
-      Hashtbl.replace t.tbl key v;
-      t.total_bytes <- t.total_bytes + bytes;
-      while t.total_bytes > t.budget_bytes && Hashtbl.length t.tbl > 0 do
-        evict_lru t
-      done))
+      if parent_fresh && enabled t && not (Hashtbl.mem t.tbl key) then (
+        let snaps =
+          Array.append base (Array.of_list (List.rev suffix_rev))
+        in
+        if Array.length snaps > 0 then (
+          let iids =
+            Array.map
+              (fun s ->
+                match s.trace_rev with
+                | e :: _ -> e.Ksim.Machine.iid
+                | [] -> assert false (* a snap always follows >= 1 step *))
+              snaps
+          in
+          let healthy = ref (Array.length snaps) in
+          Array.iteri
+            (fun k s ->
+              if !healthy = Array.length snaps
+                 && Ksim.Machine.failed s.machine <> None
+              then healthy := k)
+            snaps;
+          let bytes = estimate_bytes (Array.length snaps) in
+          let v =
+            { snaps; iids; healthy = !healthy; generation = 0; bytes;
+              tick = 0 }
+          in
+          touch t v;
+          Hashtbl.replace t.tbl key v;
+          t.total_bytes <- t.total_bytes + bytes;
+          while t.total_bytes > t.budget_bytes && Hashtbl.length t.tbl > 0 do
+            evict_lru t
+          done)))
 
 (* Explicitly poison an entry — a restore from it was detected as
    corrupted (fault injection, or any future integrity check).  Forcing
@@ -169,13 +205,15 @@ let store t ~key ~(base : snap array) ~(suffix_rev : snap list) =
    counted) rather than deleted, mirroring the paper's quarantined
    snapshots. *)
 let poison t ~key =
-  match Hashtbl.find_opt t.tbl key with
-  | None -> ()
-  | Some v ->
-    if v.healthy > 0 then (
-      v.healthy <- 0;
-      t.stats.poisonings <- t.stats.poisonings + 1;
-      Telemetry.Probe.count "snapshot.poisonings")
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> ()
+      | Some v ->
+        if v.healthy > 0 then (
+          v.healthy <- 0;
+          v.generation <- v.generation + 1;
+          t.stats.poisonings <- t.stats.poisonings + 1;
+          Telemetry.Probe.count "snapshot.poisonings"))
 
 (* A lookup walked into the poisoned (or failing) region of a vector
    and was refused: degraded-mode runs show up in [aitia stats] through
@@ -192,6 +230,7 @@ type preemption_hit = {
   resume_switches : Schedule.switch list;
   base : snap array;  (* adjusted prefix snaps for re-capture *)
   vector_key : string;  (* the vector the start was restored from *)
+  parent_generation : int;  (* its generation at hit time, for store *)
 }
 
 let start_of_snap (s : snap) : Controller.start =
@@ -223,42 +262,44 @@ let find_preemption t (sched : Schedule.preemption) : preemption_hit option =
   else
     match List.rev sched.Schedule.switches with
     | [] -> None (* a serial schedule has no parent prefix *)
-    | last :: parent_rev -> (
-      let parent =
-        { sched with Schedule.switches = List.rev parent_rev }
-      in
-      let parent_key = Schedule.preemption_key parent in
-      match lookup t parent_key with
-      | None -> None
-      | Some v -> (
-        match index_of_iid v.iids last.Schedule.after with
-        | None ->
-          (* the trigger never executed in the parent run *)
-          None
-        | Some i ->
-          let s = v.snaps.(i) in
-          if i >= v.healthy || s.pending <> [] then (
-            (* poisoned snapshot, or parent switches not all consumed
-               by the divergence point: fall back to a full run *)
-            if i >= v.healthy then refuse_poisoned t;
-            None)
-          else (
-            hit t s;
-            (* For re-capture by the resumed run: the child's pending
-               list at each prefix position is the parent's plus the
-               new switch, still unconsumed there. *)
-            let base =
-              Array.map
-                (fun (b : snap) ->
-                  { b with pending = b.pending @ [ last ] })
-                (Array.sub v.snaps 0 (i + 1))
-            in
-            Some
-              { start = start_of_snap s;
-                resume_queue = s.queue;
-                resume_switches = [ last ];
-                base;
-                vector_key = parent_key })))
+    | last :: parent_rev ->
+      locked t (fun () ->
+          let parent =
+            { sched with Schedule.switches = List.rev parent_rev }
+          in
+          let parent_key = Schedule.preemption_key parent in
+          match lookup t parent_key with
+          | None -> None
+          | Some v -> (
+            match index_of_iid v.iids last.Schedule.after with
+            | None ->
+              (* the trigger never executed in the parent run *)
+              None
+            | Some i ->
+              let s = v.snaps.(i) in
+              if i >= v.healthy || s.pending <> [] then (
+                (* poisoned snapshot, or parent switches not all consumed
+                   by the divergence point: fall back to a full run *)
+                if i >= v.healthy then refuse_poisoned t;
+                None)
+              else (
+                hit t s;
+                (* For re-capture by the resumed run: the child's pending
+                   list at each prefix position is the parent's plus the
+                   new switch, still unconsumed there. *)
+                let base =
+                  Array.map
+                    (fun (b : snap) ->
+                      { b with pending = b.pending @ [ last ] })
+                    (Array.sub v.snaps 0 (i + 1))
+                in
+                Some
+                  { start = start_of_snap s;
+                    resume_queue = s.queue;
+                    resume_switches = [ last ];
+                    base;
+                    vector_key = parent_key;
+                    parent_generation = v.generation })))
 
 (* --- plan lookups ------------------------------------------------------ *)
 
@@ -276,34 +317,35 @@ type plan_hit = {
 let find_plan t ~key (plan : Schedule.plan) : plan_hit option =
   if not (enabled t) then None
   else
-    match lookup t key with
-    | None -> None
-    | Some v ->
-      let rec matched k = function
-        | ev :: rest
-          when k < v.healthy
-               && k < Array.length v.iids
-               && Iid.equal v.iids.(k) ev ->
-          matched (k + 1) rest
-        | _ -> k
-      in
-      let l = matched 0 plan.Schedule.events in
-      (* Did matching stop at the healthy cap rather than a genuine
-         divergence?  Then poisoning is what refused (part of) the
-         prefix. *)
-      (if
-         l >= v.healthy
-         && l < Array.length v.iids
-         &&
-         match List.nth_opt plan.Schedule.events l with
-         | Some ev -> Iid.equal v.iids.(l) ev
-         | None -> false
-       then refuse_poisoned t);
-      if l = 0 then None
-      else (
-        let s = v.snaps.(l - 1) in
-        hit t s;
-        Some
-          { plan_start = start_of_snap s;
-            suffix = Schedule.plan_drop plan l;
-            matched = l })
+    locked t (fun () ->
+        match lookup t key with
+        | None -> None
+        | Some v ->
+          let rec matched k = function
+            | ev :: rest
+              when k < v.healthy
+                   && k < Array.length v.iids
+                   && Iid.equal v.iids.(k) ev ->
+              matched (k + 1) rest
+            | _ -> k
+          in
+          let l = matched 0 plan.Schedule.events in
+          (* Did matching stop at the healthy cap rather than a genuine
+             divergence?  Then poisoning is what refused (part of) the
+             prefix. *)
+          (if
+             l >= v.healthy
+             && l < Array.length v.iids
+             &&
+             match List.nth_opt plan.Schedule.events l with
+             | Some ev -> Iid.equal v.iids.(l) ev
+             | None -> false
+           then refuse_poisoned t);
+          if l = 0 then None
+          else (
+            let s = v.snaps.(l - 1) in
+            hit t s;
+            Some
+              { plan_start = start_of_snap s;
+                suffix = Schedule.plan_drop plan l;
+                matched = l }))

@@ -15,7 +15,14 @@
     whose machine already carries a failure verdict — is never
     returned, so the faulting step always re-executes.  With a zero
     byte budget the cache is disabled and callers take the plain
-    reboot path, bit-identical to no cache at all. *)
+    reboot path, bit-identical to no cache at all.
+
+    The cache is safe to share between the workers of a {!Pool}: every
+    operation holds one cache-wide lock (a no-op on the single-domain
+    build), machines are persistent so restores never mutate shared
+    state, and per-vector generation counters close the hit→store
+    window — a child vector whose restored prefix came from a vector
+    poisoned in between is silently dropped. *)
 
 module Iid = Ksim.Access.Iid
 
@@ -42,12 +49,23 @@ val enabled : t -> bool
 (** False when the budget is zero or negative: every lookup misses and
     nothing is stored. *)
 
-val store : t -> key:string -> base:snap array -> suffix_rev:snap list -> unit
+val store :
+  t ->
+  key:string ->
+  ?parent:string * int ->
+  base:snap array ->
+  suffix_rev:snap list ->
+  unit ->
+  unit
 (** Record the snapshot vector of a completed preemption run under the
     schedule's key.  [base] is the prefix inherited from the parent
     vector when the run was resumed (empty for a full run);
     [suffix_rev] is what the controller observer captured, newest
-    first.  Evicts least-recently-used vectors once over budget. *)
+    first.  [parent] is the [(vector_key, parent_generation)] pair of
+    the {!preemption_hit} the run resumed from; if that vector has
+    been poisoned since the hit (concurrent workers only), the store
+    is silently dropped — the base prefix is suspect.  Evicts
+    least-recently-used vectors once over budget. *)
 
 val poison : t -> key:string -> unit
 (** Mark the entry under [key] unusable — a restore from it was
@@ -64,6 +82,10 @@ type preemption_hit = {
   vector_key : string;
       (** the cache key of the vector the start was restored from —
           what {!poison} takes when the restore turns out corrupted *)
+  parent_generation : int;
+      (** that vector's generation at hit time; passed back to
+          {!store} so a poisoning that lands between hit and store
+          invalidates the child *)
 }
 
 val find_preemption : t -> Schedule.preemption -> preemption_hit option

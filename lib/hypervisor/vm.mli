@@ -59,6 +59,16 @@ val penalize : t -> float -> unit
     exponential backoff between retries, charged to simulated time
     instead of the host clock. *)
 
+val absorb : t -> t -> unit
+(** [absorb t worker] folds the worker guest's accounting (runs,
+    failures, steps, savings, penalties) into [t].  The pool gives
+    each task its own guest and the coordinator absorbs them in
+    shard-index order.  [t]'s [last_run_failed] coupling is left
+    untouched: it relates consecutive runs of one guest, so the
+    reboot-avoided credit of {!resume} can differ slightly between a
+    sequential run and a parallel one — chains and schedule counts do
+    not. *)
+
 val runs : t -> int
 val failures : t -> int
 val total_steps : t -> int

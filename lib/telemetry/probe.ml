@@ -2,61 +2,77 @@
 
    Instrumented code calls [with_span] / [count] / [observe]
    unconditionally; each probe starts with a single match on the
-   installed-sink ref, so a build with telemetry off the hot paths
+   installed-sink cell, so a build with telemetry off the hot paths
    costs nothing measurable and — because probes never touch the
    instrumented computation — produces bit-identical results.
 
    Timestamps are microseconds since the first use of the module,
    clamped monotonic (a wall-clock step backwards cannot produce a
-   negative duration).  The search and the analyses are
-   single-threaded, so one global span stack suffices; the stack depth
-   is recorded on each closed span for the exporters. *)
+   negative duration).  The installed sink, the span stack and the
+   monotonic clamp live in thread-local storage (Domain.DLS on OCaml 5,
+   a plain cell below), so each domain of the hypervisor worker pool
+   records into its own sink without sharing a span stack; the stack
+   depth is recorded on each closed span for the exporters. *)
 
 type frame = { f_name : string; f_cat : string; f_start : float }
 
-let current : Sink.t option ref = ref None
-let stack : frame list ref = ref []
+type state = {
+  mutable current : Sink.t option;
+  mutable stack : frame list;
+  mutable last : float;
+}
+
+let key : state Tls.key =
+  Tls.new_key (fun () -> { current = None; stack = []; last = 0.0 })
+
+let state () = Tls.get key
 
 let origin = Unix.gettimeofday ()
-let last = ref 0.0
 
 let now_us () =
+  let st = state () in
   let t = (Unix.gettimeofday () -. origin) *. 1e6 in
-  let t = if t < !last then !last else t in
-  last := t;
+  let t = if t < st.last then st.last else t in
+  st.last <- t;
   t
 
-let installed () = !current <> None
-let current_sink () = !current
+let installed () = (state ()).current <> None
+let current_sink () = (state ()).current
 
 let install s =
-  current := Some s;
-  stack := []
+  let st = state () in
+  st.current <- Some s;
+  st.stack <- []
 
 let uninstall () =
-  current := None;
-  stack := []
+  let st = state () in
+  st.current <- None;
+  st.stack <- []
 
 let with_sink s f =
-  let saved = !current and saved_stack = !stack in
-  current := Some s;
-  stack := [];
+  let st = state () in
+  let saved = st.current and saved_stack = st.stack in
+  st.current <- Some s;
+  st.stack <- [];
   Fun.protect
     ~finally:(fun () ->
-      current := saved;
-      stack := saved_stack)
+      let st = state () in
+      st.current <- saved;
+      st.stack <- saved_stack)
     f
 
 let span_begin ?(cat = "aitia") name =
-  match !current with
+  let st = state () in
+  match st.current with
   | None -> ()
   | Some _ ->
-    stack := { f_name = name; f_cat = cat; f_start = now_us () } :: !stack
+    st.stack <- { f_name = name; f_cat = cat; f_start = now_us () } :: st.stack
 
 let span_end ?(args = []) () =
-  match (!current, !stack) with
+  let st = state () in
+  match (st.current, st.stack) with
   | Some s, fr :: rest ->
-    stack := rest;
+    st.stack <- rest;
     let stop = now_us () in
     s.Sink.on_span
       { Sink.span_name = fr.f_name;
@@ -68,7 +84,7 @@ let span_end ?(args = []) () =
   | _ -> ()
 
 let with_span ?cat ?args name f =
-  match !current with
+  match (state ()).current with
   | None -> f ()
   | Some _ -> (
     span_begin ?cat name;
@@ -82,14 +98,18 @@ let with_span ?cat ?args name f =
       raise e)
 
 let instant ?(cat = "aitia") ?(args = []) name =
-  match !current with
+  match (state ()).current with
   | None -> ()
   | Some s ->
     s.Sink.on_instant
       { Sink.i_name = name; i_cat = cat; i_ts_us = now_us (); i_args = args }
 
 let count ?(by = 1) name =
-  match !current with None -> () | Some s -> s.Sink.on_count name by
+  match (state ()).current with
+  | None -> ()
+  | Some s -> s.Sink.on_count name by
 
 let observe name v =
-  match !current with None -> () | Some s -> s.Sink.on_observe name v
+  match (state ()).current with
+  | None -> ()
+  | Some s -> s.Sink.on_observe name v

@@ -34,3 +34,11 @@ val histogram : t -> string -> histogram option
 
 val span_stats : t -> (string * span_stat) list
 (** Per-span-name rollup (count, total duration), sorted by name. *)
+
+val replay : t -> Sink.t -> unit
+(** Replay everything captured by this recorder into another sink, in
+    capture order (counters as one accumulated on_count per name,
+    sorted; observations raw).  The worker pool records into a private
+    recorder per task and replays them in shard-index order, making the
+    merged telemetry stream deterministic regardless of completion
+    order. *)

@@ -1,0 +1,10 @@
+(* Thread-local (domain-local) storage, OCaml 5 build: each domain of
+   the hypervisor worker pool gets its own probe state, so workers can
+   record telemetry concurrently without sharing a span stack.  The
+   dune rules copy this file to tls.ml on >= 5.0 and tls_ref.ml (a
+   plain cell — the build is single-domain) otherwise. *)
+
+type 'a key = 'a Domain.DLS.key
+
+let new_key (init : unit -> 'a) : 'a key = Domain.DLS.new_key init
+let get (k : 'a key) : 'a = Domain.DLS.get k

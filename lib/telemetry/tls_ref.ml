@@ -1,0 +1,15 @@
+(* Thread-local storage, OCaml 4 build: there is exactly one domain, so
+   a key is a lazily-initialized cell.  The dune rules copy this file
+   to tls.ml below 5.0 and tls_domains.ml (Domain.DLS) otherwise. *)
+
+type 'a key = { init : unit -> 'a; mutable cell : 'a option }
+
+let new_key init = { init; cell = None }
+
+let get k =
+  match k.cell with
+  | Some v -> v
+  | None ->
+    let v = k.init () in
+    k.cell <- Some v;
+    v
