@@ -629,6 +629,38 @@ let analysis () =
     (Bugs.Registry.cves @ Bugs.Registry.syzkaller);
   emit_json ~target:"analysis" (Analysis.Report_json.arr (List.rev !rows))
 
+(* --- engine throughput (compiled vs reference) ------------------------------ *)
+
+(* Executor-style replay: the controller's runnable+step drive loop on
+   a fresh guest per round, timed exclusive of boot so the metric is
+   step throughput rather than machine construction.  The deterministic
+   first-runnable schedule makes both engines execute the identical
+   instruction sequence; every started run completes before the clock
+   is read, so counted steps always cover whole schedules. *)
+let step_throughput engine group ~seconds =
+  Gc.full_major ();
+  let steps = ref 0 and elapsed = ref 0.0 in
+  (* executor-style driving: consult [runnable] before every step, as
+     the diagnosis scheduler does, so both the scheduling query and the
+     step itself are inside the timed region *)
+  while !elapsed < seconds do
+    let m = ref (Ksim.Engine.boot engine group) in
+    let t0 = Unix.gettimeofday () in
+    let continue = ref true in
+    while !continue do
+      match Ksim.Machine.runnable !m with
+      | [] -> continue := false
+      | tid :: _ -> (
+        match Ksim.Engine.step !m tid with
+        | Ok (m', _) ->
+          incr steps;
+          m := m'
+        | Error _ -> continue := false)
+    done;
+    elapsed := !elapsed +. (Unix.gettimeofday () -. t0)
+  done;
+  (!steps, !elapsed)
+
 (* --- Causality Analysis pruning scenario ----------------------------------- *)
 
 (* Flip-feasibility pruning and snapshot-cache re-execution: per bug,
@@ -651,6 +683,14 @@ let causality () =
   let par_seq_total = ref 0.0 in
   let par_par_total = ref 0.0 in
   let par_all_identical = ref true in
+  (* engine columns: per-bug step throughput of each engine plus the
+     reference-vs-compiled chain parity; aggregated into the corpus
+     engine_speedup ratio the perf gate floors at 5x.  Long diagnosis
+     workloads dominate the aggregate, so boot-heavy figure examples
+     carry little weight. *)
+  let eng_ref_steps = ref 0 and eng_ref_time = ref 0.0 in
+  let eng_cmp_steps = ref 0 and eng_cmp_time = ref 0.0 in
+  let eng_chains_identical = ref true in
   List.iter
     (fun (bug : Bugs.Bug.t) ->
       let t0 = Unix.gettimeofday () in
@@ -745,6 +785,40 @@ let causality () =
               (if par_wall > 0. then seq_wall /. par_wall else 0.)
               (if par_identical then "identical" else "DIFFERS"))
           par;
+        let eng_group = (bug.case ()).Aitia.Diagnose.group in
+        (* three interleaved leg pairs, keeping each engine's best-rate
+           leg: transient host contention slows individual legs, and
+           the ratio of best legs is robust to it *)
+        let leg_rate (s, t) = if t > 0. then float_of_int s /. t else 0. in
+        let best_ref = ref (0, 0.0) and best_cmp = ref (0, 0.0) in
+        for _ = 1 to 3 do
+          let r = step_throughput Ksim.Engine.Reference eng_group ~seconds:0.05 in
+          if leg_rate r > leg_rate !best_ref then best_ref := r;
+          let c = step_throughput Ksim.Engine.Compiled eng_group ~seconds:0.05 in
+          if leg_rate c > leg_rate !best_cmp then best_cmp := c
+        done;
+        let rs, rt = !best_ref in
+        let cs, ct = !best_cmp in
+        let ref_ips = float_of_int rs /. rt in
+        let cmp_ips = float_of_int cs /. ct in
+        let eng_speedup = if ref_ips > 0. then cmp_ips /. ref_ips else 0. in
+        (* [plain] ran on the session-default (compiled) engine; a
+           reference-engine diagnosis must produce the identical chain *)
+        let ref_report =
+          Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
+            ~engine:Ksim.Engine.Reference (bug.case ())
+        in
+        let eng_chain = String.equal (chain_str plain) (chain_str ref_report) in
+        eng_ref_steps := !eng_ref_steps + rs;
+        eng_ref_time := !eng_ref_time +. rt;
+        eng_cmp_steps := !eng_cmp_steps + cs;
+        eng_cmp_time := !eng_cmp_time +. ct;
+        if not eng_chain then eng_chains_identical := false;
+        pr
+          "  engine: reference %9.0f i/s  compiled %9.0f i/s  speedup \
+           %5.2fx  chain %s@."
+          ref_ips cmp_ips eng_speedup
+          (if eng_chain then "identical" else "DIFFERS");
         let open Analysis.Report_json in
         rows :=
           obj
@@ -784,7 +858,11 @@ let causality () =
                  (inv.lifs.stats.gain_reorderings
                  + ica.stats.gain_reorderings));
               ("inv_chain_identical", bool inv_chain);
-              ("inv_fewer", bool (inv_total < hinted_total)) ]
+              ("inv_fewer", bool (inv_total < hinted_total));
+              ("engine_ref_ips", float ref_ips);
+              ("engine_compiled_ips", float cmp_ips);
+              ("engine_speedup", float eng_speedup);
+              ("engine_chain_identical", bool eng_chain) ]
              @ (match par with
               | None -> []
               | Some (seq_wall, par_wall, par_r, par_identical) ->
@@ -825,8 +903,33 @@ let causality () =
           ("par_chain_identical", bool !par_all_identical) ]
       :: !rows
   end;
-  emit_json ~target:"causality"
-    (Analysis.Report_json.arr (List.rev !rows))
+  let corpus_ref_ips =
+    if !eng_ref_time > 0. then float_of_int !eng_ref_steps /. !eng_ref_time
+    else 0.
+  in
+  let corpus_cmp_ips =
+    if !eng_cmp_time > 0. then float_of_int !eng_cmp_steps /. !eng_cmp_time
+    else 0.
+  in
+  let corpus_speedup =
+    if corpus_ref_ips > 0. then corpus_cmp_ips /. corpus_ref_ips else 0.
+  in
+  pr
+    "corpus engine summary: reference %9.0f i/s  compiled %9.0f i/s  \
+     speedup %.2fx  chains %s@."
+    corpus_ref_ips corpus_cmp_ips corpus_speedup
+    (if !eng_chains_identical then "all identical" else "SOME DIFFER");
+  let open Analysis.Report_json in
+  rows :=
+    obj
+      [ ("bug", str "_engine");
+        ("engine_ref_ips", float corpus_ref_ips);
+        ("engine_compiled_ips", float corpus_cmp_ips);
+        ("corpus_engine_speedup", float corpus_speedup);
+        ("engine_speedup_ge_5", bool (corpus_speedup >= 5.0));
+        ("engine_chains_identical", bool !eng_chains_identical) ]
+    :: !rows;
+  emit_json ~target:"causality" (arr (List.rev !rows))
 
 (* --- resilience scenario ------------------------------------------------------ *)
 
@@ -971,6 +1074,11 @@ let trace_file : string option ref = ref None
 let metrics_file : string option ref = ref None
 
 let () =
+  (* Throughput-bench GC hygiene: the compiled engine is allocation-
+     throughput-bound, so the default 256k-word minor heap spends a
+     measurable fraction of each leg in minor collections.  A 2M-word
+     nursery applies equally to both engines. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 2 * 1024 * 1024 };
   let raw = List.tl (Array.to_list Sys.argv) in
   let rec split targets = function
     | [] -> List.rev targets

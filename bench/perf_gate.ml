@@ -15,15 +15,25 @@
    opposite of the gate's regression direction.  The parallel columns
    (--jobs rows: wall times, speedup, worker count) are likewise
    host-dependent and higher-is-better where numeric — the
-   parallel-parity gate owns them, not this one. *)
+   parallel-parity gate owns them, not this one.  The engine
+   instrs-per-second columns are host-dependent too; the
+   reference-vs-compiled ratio is gated by the floor below instead. *)
 let default_ignored =
   [ "host_elapsed_s"; "plain_sched_per_simsec"; "snap_sched_per_simsec";
-    "jobs"; "seq_wall_s"; "par_wall_s"; "speedup"; "par_sched_per_simsec" ]
+    "jobs"; "seq_wall_s"; "par_wall_s"; "speedup"; "par_sched_per_simsec";
+    "engine_ref_ips"; "engine_compiled_ips"; "engine_speedup";
+    "corpus_engine_speedup" ]
+
+(* Higher-is-better minimums checked against the FRESH document (ratios
+   are host-independent, so no baseline needed): the compiled engine
+   must stay at least 5x faster than the reference interpreter across
+   the corpus. *)
+let default_floors = [ ("corpus_engine_speedup", 5.0) ]
 
 let usage () =
   Fmt.epr
     "usage: perf_gate BASELINE FRESH [--target NAME] [--tolerance F] \
-     [--ignore FIELD]...@.";
+     [--ignore FIELD]... [--floor FIELD:MIN]...@.";
   exit 2
 
 let read_doc file =
@@ -42,11 +52,55 @@ let read_doc file =
     Fmt.epr "perf_gate: %s: %s@." file e;
     exit 2
 
+(* Rows of the [target] section: the document is either a bare row
+   array (historical format) or the merged multi-target object. *)
+let rows_of_doc ~target doc =
+  let open Telemetry.Json in
+  let body =
+    match doc with
+    | Obj _ -> ( match member target doc with Some d -> d | None -> doc)
+    | d -> d
+  in
+  match to_list body with Some rows -> rows | None -> []
+
+(* Check every row carrying [field] against the floor; a floor whose
+   field appears in no row fails too — a silently vanished metric must
+   not read as a pass. *)
+let check_floors ~target ~floors fresh =
+  let open Telemetry.Json in
+  let rows = rows_of_doc ~target fresh in
+  List.concat_map
+    (fun (field, min_v) ->
+      let seen = ref false in
+      let bad =
+        List.filter_map
+          (fun row ->
+            match member field row with
+            | Some v -> (
+              seen := true;
+              match to_num v with
+              | Some f when f >= min_v -> None
+              | Some f ->
+                let bug =
+                  match Option.bind (member "bug" row) to_str with
+                  | Some b -> b
+                  | None -> "?"
+                in
+                Some (Fmt.str "%s/%s: %.4f below floor %.4f" bug field f min_v)
+              | None -> Some (Fmt.str "%s: not numeric" field))
+            | None -> None)
+          rows
+      in
+      if !seen then bad
+      else [ Fmt.str "%s: floored field missing from fresh document" field ])
+    floors
+
 let () =
   let files = ref [] in
   let target = ref "causality" in
   let tolerance = ref 0.02 in
   let ignored = ref default_ignored in
+  let floors = ref default_floors in
   let rec parse = function
     | [] -> ()
     | "--target" :: v :: rest ->
@@ -62,7 +116,21 @@ let () =
     | "--ignore" :: v :: rest ->
       ignored := v :: !ignored;
       parse rest
-    | ("--target" | "--tolerance" | "--ignore") :: [] -> usage ()
+    | "--floor" :: v :: rest ->
+      (match String.index_opt v ':' with
+      | Some i -> (
+        let field = String.sub v 0 i in
+        let min_s = String.sub v (i + 1) (String.length v - i - 1) in
+        match float_of_string_opt min_s with
+        | Some f when field <> "" -> floors := (field, f) :: !floors
+        | _ ->
+          Fmt.epr "perf_gate: bad floor %S (want FIELD:MIN)@." v;
+          exit 2)
+      | None ->
+        Fmt.epr "perf_gate: bad floor %S (want FIELD:MIN)@." v;
+        exit 2);
+      parse rest
+    | ("--target" | "--tolerance" | "--ignore" | "--floor") :: [] -> usage ()
     | a :: _ when String.length a > 2 && String.sub a 0 2 = "--" -> usage ()
     | a :: rest ->
       files := a :: !files;
@@ -77,12 +145,20 @@ let () =
       Telemetry.Gate.compare_docs ~tolerance:!tolerance
         ~ignore_fields:!ignored ~target:!target ~baseline ~fresh ()
     in
-    if v.gate_ok then (
-      Fmt.pr "perf gate OK: %d metric(s) within %.0f%% of %s@." v.checked
-        (100.0 *. !tolerance) baseline_file;
+    let floor_violations =
+      check_floors ~target:!target ~floors:!floors fresh
+    in
+    if v.gate_ok && floor_violations = [] then (
+      Fmt.pr
+        "perf gate OK: %d metric(s) within %.0f%% of %s, %d floor(s) held@."
+        v.checked
+        (100.0 *. !tolerance)
+        baseline_file
+        (List.length !floors);
       exit 0)
     else (
       Fmt.epr "perf gate FAILED (%d metric(s) checked):@." v.checked;
       List.iter (fun m -> Fmt.epr "  %s@." m) v.violations;
+      List.iter (fun m -> Fmt.epr "  %s@." m) floor_violations;
       exit 1)
   | _ -> usage ()

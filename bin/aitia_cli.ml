@@ -138,6 +138,7 @@ type exec_opts = {
   snapshot_budget : int option;
   journal_file : string option;
   resume : bool;
+  engine : Ksim.Engine.kind;
 }
 
 let exec_opts_term =
@@ -204,13 +205,29 @@ let exec_opts_term =
                 journal instead of re-executed, and the report is \
                 identical to an uninterrupted run")
   in
+  let engine =
+    Arg.(value
+         & opt
+             (enum
+                [ ("reference", Ksim.Engine.Reference);
+                  ("compiled", Ksim.Engine.Compiled) ])
+             Ksim.Engine.default
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:
+               "Machine implementation the guest VMs run on: \
+                $(b,compiled) (default) executes programs compiled to \
+                flat integer opcodes in a mutable arena with an undo \
+                log; $(b,reference) is the persistent reference \
+                semantics.  Chains, verdicts and race sets are \
+                bit-identical across engines")
+  in
   let make fault_spec fault_seed max_retries step_timeout snapshot_budget
-      journal_file resume =
+      journal_file resume engine =
     { fault_spec; fault_seed; max_retries; step_timeout; snapshot_budget;
-      journal_file; resume }
+      journal_file; resume; engine }
   in
   Term.(const make $ fault_spec $ fault_seed $ max_retries $ step_timeout
-        $ snapshot_budget $ journal_file $ resume)
+        $ snapshot_budget $ journal_file $ resume $ engine)
 
 (* Usage errors detected after parsing (option combinations, unreadable
    journals) exit with code 2, like parse errors. *)
@@ -264,9 +281,10 @@ let diagnose_bug ?static_hints ?prune ?order ?jobs ?snapshot_cache ?opts
   let resilience = Option.bind opts resilience_for in
   let max_steps = Option.bind opts (fun o -> o.step_timeout) in
   let snapshot_budget = Option.bind opts (fun o -> o.snapshot_budget) in
+  let engine = Option.map (fun o -> o.engine) opts in
   Aitia.Diagnose.diagnose ?max_interleavings:bug.max_interleavings
     ?static_hints ?prune ?order ?jobs ?snapshot_cache ?snapshot_budget
-    ?max_steps ?faults ?resilience ?journal (bug.case ())
+    ?max_steps ?faults ?resilience ?journal ?engine (bug.case ())
 
 let jobs_arg =
   Cmdliner.Arg.(
@@ -594,10 +612,10 @@ let stats_cmd =
 (* --- chain ------------------------------------------------------------ *)
 
 let chain_cmd =
-  let run () ids jobs =
+  let run () ids jobs opts =
     List.iter
       (fun (bug : Bugs.Bug.t) ->
-        let report = diagnose_bug ~jobs bug in
+        let report = diagnose_bug ~jobs ~opts bug in
         match report.chain with
         | Some chain -> Fmt.pr "%-18s %a@." bug.id Aitia.Chain.pp chain
         | None -> Fmt.pr "%-18s (not reproduced)@." bug.id)
@@ -605,7 +623,7 @@ let chain_cmd =
     0
   in
   Cmd.v (Cmd.info "chain" ~doc:"Print only the causality chain")
-    Term.(const run $ setup_logs $ bug_arg $ jobs_arg)
+    Term.(const run $ setup_logs $ bug_arg $ jobs_arg $ exec_opts_term)
 
 (* --- batch ------------------------------------------------------------ *)
 

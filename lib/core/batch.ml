@@ -26,6 +26,7 @@ type request = {
   rq_max_retries : int option;
   rq_step_timeout : int option;
   rq_journal : string option;
+  rq_engine : Ksim.Engine.kind option;
 }
 
 type outcome = {
@@ -48,7 +49,7 @@ let ( let* ) = Result.bind
 let known_fields =
   [ "id"; "bug"; "jobs"; "prune"; "order"; "snapshot_cache";
     "snapshot_budget"; "fault_spec"; "fault_seed"; "max_retries";
-    "step_timeout"; "journal" ]
+    "step_timeout"; "journal"; "engine" ]
 
 let str_field name fields =
   match List.assoc_opt name fields with
@@ -125,12 +126,21 @@ let request_of_json (j : Json.t) : (request, string) result =
     let* rq_max_retries = int_field "max_retries" fields in
     let* rq_step_timeout = int_field ~min:1 "step_timeout" fields in
     let* rq_journal = str_field "journal" fields in
+    let* engine = str_field "engine" fields in
+    let* rq_engine =
+      match engine with
+      | None -> Ok None
+      | Some s -> (
+        match Ksim.Engine.of_string s with
+        | Ok k -> Ok (Some k)
+        | Error e -> Error (Fmt.str "request %S: %s" rq_id e))
+    in
     Ok
       { rq_id; rq_bug; rq_jobs; rq_prune; rq_order;
         rq_snapshot_cache = Option.value ~default:false snap;
         rq_snapshot_budget; rq_fault_spec;
         rq_fault_seed = Option.value ~default:1 seed;
-        rq_max_retries; rq_step_timeout; rq_journal }
+        rq_max_retries; rq_step_timeout; rq_journal; rq_engine }
   | _ -> Error "each request must be a JSON object"
 
 let manifest_of_string (s : string) : (request list, string) result =
@@ -228,7 +238,7 @@ let run_request ?journal_dir ~resume ~resolve (rq : request) :
       ?max_steps:rq.rq_step_timeout ?prune:rq.rq_prune ?order:rq.rq_order
       ?jobs:rq.rq_jobs ~snapshot_cache:rq.rq_snapshot_cache
       ?snapshot_budget:rq.rq_snapshot_budget ?faults
-      ?resilience:(resilience_of rq) ?journal case
+      ?resilience:(resilience_of rq) ?journal ?engine:rq.rq_engine case
   with
   | report -> Ok report
   | exception e -> Error (Fmt.str "diagnosis raised: %s" (Printexc.to_string e))

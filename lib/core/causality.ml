@@ -466,7 +466,10 @@ let analyze ?max_steps ?(prologue = []) ?direction ?(static_hints = false)
       Hypervisor.Pool.run p
         (fun k ->
           let r, plan = todos.(k) in
-          let wvm = Hypervisor.Vm.create (Hypervisor.Vm.group vm) in
+          let wvm =
+            Hypervisor.Vm.create ~engine:(Hypervisor.Vm.engine vm)
+              (Hypervisor.Vm.group vm)
+          in
           let exec () =
             Telemetry.Probe.span_begin ~cat:"causality" "causality.flip";
             let run =

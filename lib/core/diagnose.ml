@@ -166,7 +166,7 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
     ?prune:prune_opt ?(order = (`Fixed : Causality.order))
     ?(jobs = 1) ?(snapshot_cache = false) ?snapshot_budget
     ?(slice_order = `Nearest_first) ?faults ?resilience:rpolicy ?journal
-    (case : case) : report =
+    ?(engine = Ksim.Engine.default) (case : case) : report =
   Telemetry.Probe.with_span ~cat:"diagnose" "diagnose"
     ~args:[ ("case", case.case_name) ]
   @@ fun () ->
@@ -250,7 +250,7 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
       ~(success : Lifs.success) ~(lifs : Lifs.result)
       ~(prior_flips : Journal.flip list)
       ~(stats_base : Causality.stats) =
-    let ca_vm = Hypervisor.Vm.create ?faults group in
+    let ca_vm = Hypervisor.Vm.create ?faults ~engine group in
     let ca_snapshots =
       Option.map
         (fun cache ->
@@ -357,7 +357,7 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
            — is one slice span; the recursion to the next slice happens
            outside it, so slice spans are siblings in the trace. *)
         let fresh () =
-          let lifs_vm = Hypervisor.Vm.create ?faults group in
+          let lifs_vm = Hypervisor.Vm.create ?faults ~engine group in
           (* Any pruning level brings the lockset hints; [`Invariants]
              adds the failure-relevance closure of the realized slice. *)
           let hints =
@@ -425,7 +425,7 @@ let diagnose ?max_interleavings ?max_steps ?(static_hints = false)
             when s.r_threads = slice_threads -> (
             (* Journaled reproduction: re-run only the recorded schedule
                to rebuild the machine state the flips permute. *)
-            let lifs_vm = Hypervisor.Vm.create ?faults group in
+            let lifs_vm = Hypervisor.Vm.create ?faults ~engine group in
             let snapshots = make_snapshots () in
             let r =
               Executor.run_preemption ?max_steps ~prologue ?snapshots

@@ -61,6 +61,7 @@ val diagnose :
   ?faults:Hypervisor.Faults.t ->
   ?resilience:Resilience.policy ->
   ?journal:Journal.t ->
+  ?engine:Ksim.Engine.kind ->
   case ->
   report
 (** The full pipeline.  Tries slices nearest-to-failure first until one
@@ -101,4 +102,10 @@ val diagnose :
     progress to disk: rerunning the same diagnosis over the journal of
     an interrupted run replays finished work instead of re-executing it
     (the reproducing schedule is re-run once to rebuild machine state)
-    and produces the same report. *)
+    and produces the same report.
+
+    [engine] (default {!Ksim.Engine.default}) selects the machine
+    implementation every VM of this diagnosis boots — the compiled
+    arena/undo-log interpreter or the persistent reference semantics.
+    Chains, verdicts and race sets are bit-identical across engines;
+    the differential oracle in test/test_engine.ml enforces it. *)

@@ -72,7 +72,8 @@ let aborted kind (vm : Hypervisor.Vm.t) =
     outcome =
       { Hypervisor.Controller.verdict = Hypervisor.Controller.Step_limit;
         trace = [];
-        final = Ksim.Machine.create (Hypervisor.Vm.group vm);
+        final =
+          Ksim.Engine.boot (Hypervisor.Vm.engine vm) (Hypervisor.Vm.group vm);
         steps = 0 };
     confidence = 0. }
 

@@ -508,7 +508,9 @@ let search ?(max_interleavings = default_max_interleavings) ?max_steps
           Hypervisor.Pool.run p
             (fun i ->
               let _pos, sched = runnables.(base + i) in
-              let wvm = Hypervisor.Vm.create group in
+              let wvm =
+                Hypervisor.Vm.create ~engine:(Hypervisor.Vm.engine vm) group
+              in
               let exec () =
                 Executor.run_preemption ?max_steps ~prologue ?snapshots wvm
                   sched

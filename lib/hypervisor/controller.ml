@@ -112,7 +112,7 @@ let run_from ?(max_steps = default_max_steps) ?observe (start : start)
               else
                 { verdict = Deadlock; trace = List.rev acc; final = m; steps })
           | Some tid -> (
-            match Ksim.Machine.step m tid with
+            match Ksim.Engine.step m tid with
             | Ok (m, ev) ->
               let acc = ev :: acc in
               let steps = steps + 1 in

@@ -108,12 +108,24 @@ let poisoned_refusals t = locked t (fun () -> t.stats.poisoned_refusals)
 let cached_vectors t = locked t (fun () -> Hashtbl.length t.tbl)
 let cached_bytes t = locked t (fun () -> t.total_bytes)
 
-(* Rough per-vector footprint: the persistent maps share structure
-   between consecutive snapshots, so the marginal cost of a snapshot is
-   the handful of map spine nodes the step rewrote — modeled as a flat
-   per-step estimate plus a fixed overhead.  The budget bounds this
-   estimate, not exact bytes. *)
-let estimate_bytes n_snaps = 1024 + (256 * n_snaps)
+(* Rough per-vector footprint for the LRU budget.  The budget bounds an
+   estimate, not exact bytes, but the estimate must track the engine's
+   actual representation: reference-engine snapshots share persistent
+   map structure, so each one costs a handful of rewritten spine nodes
+   (a flat per-step constant); compiled-engine snapshots sharing one
+   arena cost their marginal undo-log delta, while a snapshot opening a
+   fresh arena is charged a full clone.  [Ksim.Machine.snapshot_cost]
+   measures each machine against its predecessor in the vector, and a
+   fixed overhead covers the vector bookkeeping.  For a reference-engine
+   vector of n snaps this reduces to the historical 1024 + 256*n. *)
+let estimate_bytes (snaps : snap array) =
+  let total = ref 1024 in
+  Array.iteri
+    (fun k s ->
+      let prev = if k = 0 then None else Some snaps.(k - 1).machine in
+      total := !total + Ksim.Engine.snapshot_cost ?prev s.machine)
+    snaps;
+  !total
 
 let touch t v =
   t.clock <- t.clock + 1;
@@ -170,6 +182,13 @@ let store t ~key ?(parent : (string * int) option) ~(base : snap array)
         let snaps =
           Array.append base (Array.of_list (List.rev suffix_rev))
         in
+        (* Capture through the engine interface before publishing: a
+           compiled-engine machine is frozen and gives up its in-place
+           fast path, so concurrent restores from other workers only
+           ever read the shared arena.  No-op for reference machines. *)
+        Array.iter
+          (fun s -> ignore (Ksim.Engine.snapshot s.machine : Ksim.Engine.snapshot))
+          snaps;
         if Array.length snaps > 0 then (
           let iids =
             Array.map
@@ -186,7 +205,7 @@ let store t ~key ?(parent : (string * int) option) ~(base : snap array)
                  && Ksim.Machine.failed s.machine <> None
               then healthy := k)
             snaps;
-          let bytes = estimate_bytes (Array.length snaps) in
+          let bytes = estimate_bytes snaps in
           let v =
             { snaps; iids; healthy = !healthy; generation = 0; bytes;
               tick = 0 }

@@ -39,12 +39,14 @@ type t = {
   costs : cost_model;
   stats : stats;
   faults : Faults.t option;
+  engine : Ksim.Engine.kind;
 }
 
 exception Boot_failure
 
-let create ?(costs = default_costs) ?faults group =
-  { group; costs; faults;
+let create ?(costs = default_costs) ?faults ?(engine = Ksim.Engine.default)
+    group =
+  { group; costs; faults; engine;
     stats =
       { runs = 0; failures = 0; deadlocks = 0; steps = 0; reverts = 0;
         executed = 0; saved_steps = 0; resumes = 0; sim_saved = 0.;
@@ -52,6 +54,7 @@ let create ?(costs = default_costs) ?faults group =
 
 let group t = t.group
 let faults t = t.faults
+let engine t = t.engine
 
 (* Boot a fresh guest: in the paper, restore the reproducer's memory
    snapshot.  An injected boot failure consumes the restore attempt and
@@ -64,7 +67,7 @@ let boot t =
     Telemetry.Probe.count "vm.boot_failures";
     raise Boot_failure
   | Some _ | None -> ());
-  Ksim.Machine.create t.group
+  Ksim.Engine.boot t.engine t.group
 
 let record t ~executed (o : Controller.outcome) =
   t.stats.runs <- t.stats.runs + 1;

@@ -24,13 +24,20 @@ exception Boot_failure
     and by {!run} before any step executes.  The executor's retry loop
     is the intended handler. *)
 
-val create : ?costs:cost_model -> ?faults:Faults.t -> Ksim.Program.group -> t
+val create :
+  ?costs:cost_model -> ?faults:Faults.t -> ?engine:Ksim.Engine.kind ->
+  Ksim.Program.group -> t
 (** [faults] arms fault injection for every run of this VM; omitted,
-    all paths are bit-identical to the fault-free build. *)
+    all paths are bit-identical to the fault-free build.  [engine]
+    selects the machine implementation every boot of this guest uses
+    (default {!Ksim.Engine.default}); worker guests the pool derives
+    from this VM inherit it. *)
 
 val group : t -> Ksim.Program.group
 
 val faults : t -> Faults.t option
+
+val engine : t -> Ksim.Engine.kind
 
 val boot : t -> Ksim.Machine.t
 (** A fresh guest (a snapshot restore, in the paper's terms).

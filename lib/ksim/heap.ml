@@ -85,3 +85,12 @@ let live_count t =
 let fold f t init = Int_map.fold f t.objs init
 
 let next_id t = t.next
+
+(* Rebuild a heap from an explicit object list — the bridge the compiled
+   engine uses to materialize its mutable arena back into the persistent
+   representation for fingerprinting. *)
+let of_objs objs ~next =
+  let m =
+    List.fold_left (fun acc (id, o) -> Int_map.add id o acc) Int_map.empty objs
+  in
+  { objs = m; next }

@@ -47,3 +47,7 @@ val fold : (Value.obj_id -> obj -> 'a -> 'a) -> t -> 'a -> 'a
 
 val next_id : t -> int
 (** The next object id the allocator would hand out. *)
+
+val of_objs : (Value.obj_id * obj) list -> next:int -> t
+(** Rebuild a heap from an explicit object list.  Used by the compiled
+    engine to materialize its arena into the persistent form. *)

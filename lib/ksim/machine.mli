@@ -1,11 +1,19 @@
 (** The kernel machine: a deterministic, sequentially consistent
     interpreter over a program group.
 
-    The machine is a persistent value: [step] returns a new machine, so
-    a snapshot is just keeping the old value — this is what the AITIA
-    hypervisor's "revert the memory contents of the reproducer" becomes
-    on this substrate.  A scheduler above (see {!Hypervisor.Controller})
-    decides which thread steps next; the machine has no policy. *)
+    Two engines implement one observable semantics.  The {e reference}
+    engine ({!create}) is a persistent value: [step] returns a new
+    machine, so a snapshot is just keeping the old value — this is what
+    the AITIA hypervisor's "revert the memory contents of the
+    reproducer" becomes on this substrate.  The {e compiled} engine
+    ({!create_compiled}) lowers each program once into a flat array of
+    integer opcodes with pre-resolved operands and executes in a mutable
+    arena with an undo log, so the hot step is branch-light and nearly
+    allocation-free while snapshots are O(delta) undo-log marks.  Both
+    engines answer every query below identically — {!fingerprint}
+    parity is enforced by the differential oracle in test/test_engine.ml.
+    A scheduler above (see {!Hypervisor.Controller}) decides which
+    thread steps next; the machine has no policy. *)
 
 exception Model_error of string
 (** A malformed bug model (unset register, unlock of a lock not held,
@@ -32,8 +40,17 @@ type step_error =
   | Machine_failed
 
 val create : Program.group -> t
-(** A fresh machine: top-level threads ready, globals initialized,
-    heap empty. *)
+(** A fresh machine on the reference (persistent) engine: top-level
+    threads ready, globals initialized, heap empty. *)
+
+val create_compiled : Program.group -> t
+(** A fresh machine on the compiled engine — observably identical to
+    {!create}, but stepping mutates an arena behind an undo log.
+    Programs are compiled once per group (a small process-wide cache
+    keyed by the group's physical identity). *)
+
+val compiled : t -> bool
+(** Is this machine running on the compiled engine? *)
 
 (** {1 Inspection} *)
 
@@ -93,5 +110,52 @@ val fingerprint : t -> string
 (** Canonical hex digest of the complete machine state (threads,
     registers, memory, heap, locks, failure, clock).  Two structurally
     equal machines fingerprint identically regardless of the history
-    that built their persistent maps.  Used by the snapshot cache's
-    differential oracle to assert restore+suffix ≡ fresh execution. *)
+    that built their persistent maps {e and regardless of engine}: the
+    compiled engine materializes the persistent representation and
+    digests through the same renderer.  Used by the snapshot cache's
+    differential oracle to assert restore+suffix ≡ fresh execution, and
+    by test/test_engine.ml for reference-vs-compiled lockstep parity. *)
+
+(** {1 Snapshot support} *)
+
+val freeze : t -> unit
+(** Release the compiled engine's in-place fast path for this value, so
+    the snapshot can later be restored concurrently from several
+    domains (a frozen arena is only ever read).  No-op on the reference
+    engine.  Call before publishing a machine into a shared cache. *)
+
+val snapshot_cost : ?prev:t -> t -> int
+(** Approximate bytes of keeping this machine alive in a snapshot
+    vector.  For the compiled engine the cost of a snapshot that shares
+    its predecessor's arena is the marginal undo-log delta; an
+    unrelated snapshot is charged a full arena clone.  Reference-engine
+    snapshots share structure persistently and are charged a small
+    constant. *)
+
+(** {1 Instrumentation tables}
+
+    Per-PC classification precomputed by the compiled engine; exposed so
+    the parity tests can assert the static tables against the reference
+    engine's dynamic behaviour. *)
+
+module Flags : sig
+  val read : int
+  val write : int
+  val update : int
+  val spawn : int
+  val lock : int
+  val control : int
+  val check : int
+
+  val accesses : int
+  (** [read lor write lor update] — any bit implying the step may record
+      a shared-memory access. *)
+end
+
+val instr_flags : Program.t -> int -> int
+(** The {!Flags} bitset of the instruction at a pc. *)
+
+val instr_globals : Program.t -> int -> string list
+(** The global variables the instruction at a pc may address directly —
+    the static watchpoint set.  Exact for globals: heap accesses never
+    resolve to a global address. *)

@@ -104,3 +104,136 @@ let gen_oracle_group : Ksim.Program.group QCheck.Gen.t =
        threads)
 
 let arb_oracle_group = QCheck.make ~print:render_group gen_oracle_group
+
+(* --- engine-parity corpus ---------------------------------------------
+
+   A richer generator for the reference-vs-compiled differential oracle
+   (test_engine.ml), covering the constructs the compiled engine
+   special-cases: nested critical sections (up to two locks), heap
+   objects dereferenced after a possible midway free (use-after-free /
+   double-free paths), failure predicates over values loaded from heap
+   fields, and kthread spawn edges writing back to globals.  Registers
+   are initialized before use and branches only jump forward, so every
+   interleaving terminates. *)
+
+let engine_locks = [ "L0"; "L1" ]
+
+let gen_engine_body ~prefix ~len : Ksim.Program.labeled list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 2 len in
+  let lbl i = Fmt.str "%s%d" prefix i in
+  let gen_instr i =
+    let label = lbl i in
+    let* k = int_range 0 9 in
+    let* gvar = oneofl oracle_globals in
+    match k with
+    | 0 -> return [ load label "r" (g gvar) ]
+    | 1 ->
+      let* v = int_range 0 3 in
+      return [ store label (g gvar) (cint v) ]
+    | 2 ->
+      (* critical section around a shared-counter update; the nested
+         variant always acquires L0 before L1, so no lock-order
+         deadlock — the section still exercises lock-blocked paths.
+         The counter global "gc" never holds a pointer, so the rmw
+         arithmetic is always well-typed. *)
+      let* nested = bool in
+      if nested then
+        return
+          [ lock label "L0";
+            lock (label ^ "_lk1") "L1";
+            rmw (label ^ "_rmw") (g "gc") (cint 1);
+            unlock (label ^ "_ul1") "L1";
+            unlock (label ^ "_ul0") "L0" ]
+      else
+        let* l = oneofl engine_locks in
+        return
+          [ lock label l;
+            rmw (label ^ "_rmw") (g "gc") (cint 1);
+            unlock (label ^ "_ul") l ]
+    | 3 ->
+      (* allocate, publish to a global, read a field back *)
+      return
+        [ alloc ~fields:[ ("val", cint (i + 1)) ] label "p" "engine_obj";
+          store (label ^ "_pub") (g gvar) (reg "p");
+          load (label ^ "_fld") "r" (reg "p" **-> "val") ]
+    | 4 ->
+      (* load a published pointer and dereference it if non-null: the
+         use-after-free window when another thread freed it meanwhile *)
+      return
+        [ load label "q" (g gvar);
+          branch_if (label ^ "_nz") (Is_null (reg "q")) (lbl (i + 1));
+          load (label ^ "_use") "r" (reg "q" **-> "val") ]
+    | 5 ->
+      (* free whatever the global holds (kfree(NULL) is a no-op;
+         racing frees give double-free coverage) *)
+      return
+        [ load label "q" (g gvar);
+          branch_if (label ^ "_nz") (Is_null (reg "q")) (lbl (i + 1));
+          free (label ^ "_fr") (reg "q") ]
+    | 6 ->
+      (* failure predicate over a heap value *)
+      let* v = int_range 1 3 in
+      return
+        [ load label "q" (g gvar);
+          branch_if (label ^ "_nz") (Is_null (reg "q")) (lbl (i + 1));
+          load (label ^ "_val") "r" (reg "q" **-> "val");
+          bug_on (label ^ "_chk") (Eq (reg "r", cint v)) ]
+    | 7 -> return [ queue_work ~arg:(cint i) label "worker" ]
+    | 8 when i + 1 < n ->
+      let* target = int_range (i + 1) (n - 1) in
+      let* v = int_range 0 1 in
+      return [ branch_if label (Eq (reg "r", cint v)) (lbl target) ]
+    | _ -> return [ nop label ]
+  in
+  let rec build i acc =
+    if i >= n then return (List.rev (nop (lbl n) :: acc))
+    else
+      let* instrs = gen_instr i in
+      build (i + 1) (List.rev_append instrs acc)
+  in
+  build 0 []
+
+let gen_engine_thread ~name ~len =
+  let open QCheck.Gen in
+  let p = String.lowercase_ascii name in
+  let* body = gen_engine_body ~prefix:p ~len in
+  return
+    { Ksim.Program.spec_name = name;
+      context = Ksim.Program.Syscall { call = name; sysno = 0 };
+      program =
+        Ksim.Program.make ~name
+          (assign (p ^ "_init") "r" (cint 0)
+          :: assign (p ^ "_initq") "q" cnull
+          :: body);
+      resources = [] }
+
+(* The kworker entry spawned by construct 7: records its argument in a
+   global, so spawn edges are observable in the final state. *)
+let engine_worker_entry =
+  Ksim.Program.make ~name:"worker"
+    [ store "worker_mark" (g "g1") (reg "arg"); return "worker_done" ]
+
+let gen_engine_group : Ksim.Program.group QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* three = frequency [ (3, return false); (1, return true) ] in
+  let names = if three then [ "A"; "B"; "C" ] else [ "A"; "B" ] in
+  let len = if three then 3 else 4 in
+  let* threads =
+    List.fold_right
+      (fun name acc ->
+        let* rest = acc in
+        let* t = gen_engine_thread ~name ~len in
+        return (t :: rest))
+      names (return [])
+  in
+  return
+    (Ksim.Program.group ~name:"engine"
+       ~entries:[ ("worker", engine_worker_entry) ]
+       ~globals:
+         (List.map
+            (fun gv -> (gv, Ksim.Value.Int 0))
+            (oracle_globals @ [ "gc" ]))
+       ~locks:engine_locks threads)
+
+let arb_engine_group = QCheck.make ~print:render_group gen_engine_group

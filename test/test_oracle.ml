@@ -50,8 +50,12 @@ let record_failure o trace_rev f =
 (* Exhaustive enumeration: one DFS branch per runnable thread per step.
    Terminal nodes are failures (the machine faulted), completions
    (leak-checked) and deadlocks.  Matches the controller's semantics
-   exactly — the controller is one path of this tree. *)
-let enumerate ?(max_paths = 60_000) ?(max_depth = 200) group =
+   exactly — the controller is one path of this tree.  Runs on the
+   reference engine by default, so the oracle's ground truth is the
+   reference semantics while LIFS under test runs the session default;
+   pass [~engine] to brute-force the other engine instead. *)
+let enumerate ?(max_paths = 60_000) ?(max_depth = 200)
+    ?(engine = Ksim.Engine.Reference) group =
   let o =
     { paths = 0; capped = false; failing = Hashtbl.create 64;
       failures = Hashtbl.create 8 }
@@ -72,7 +76,7 @@ let enumerate ?(max_paths = 60_000) ?(max_depth = 200) group =
         List.iter
           (fun tid ->
             if not o.capped then
-              match Ksim.Machine.step m tid with
+              match Ksim.Engine.step m tid with
               | Error _ -> ()
               | Ok (m', ev) -> (
                 match Ksim.Machine.failed m' with
@@ -83,14 +87,15 @@ let enumerate ?(max_paths = 60_000) ?(max_depth = 200) group =
                 | None -> go m' (ev :: trace_rev) (depth + 1)))
           tids
   in
-  go (Ksim.Machine.create group) [] 0;
+  go (Ksim.Engine.boot engine group) [] 0;
   o
 
 (* Memoized variant: complete for WHICH failures are reachable (every
    reachable state is expanded exactly once), but does not keep the
    failing traces — used for the corpus bugs whose interleaving count
    is beyond full enumeration. *)
-let enumerate_memo ?(max_states = 300_000) group =
+let enumerate_memo ?(max_states = 300_000) ?(engine = Ksim.Engine.Reference)
+    group =
   let o =
     { paths = 0; capped = false; failing = Hashtbl.create 1;
       failures = Hashtbl.create 8 }
@@ -99,7 +104,7 @@ let enumerate_memo ?(max_states = 300_000) group =
   let rec go m =
     if o.capped then ()
     else
-      let fp = Ksim.Machine.fingerprint m in
+      let fp = Ksim.Engine.fingerprint m in
       if Hashtbl.mem seen fp then ()
       else begin
         Hashtbl.replace seen fp ();
@@ -115,7 +120,7 @@ let enumerate_memo ?(max_states = 300_000) group =
             List.iter
               (fun tid ->
                 if not o.capped then
-                  match Ksim.Machine.step m tid with
+                  match Ksim.Engine.step m tid with
                   | Error _ -> ()
                   | Ok (m', _) -> (
                     match Ksim.Machine.failed m' with
@@ -126,7 +131,7 @@ let enumerate_memo ?(max_states = 300_000) group =
               tids
       end
   in
-  go (Ksim.Machine.create group);
+  go (Ksim.Engine.boot engine group);
   o
 
 let oracle_finds o = Hashtbl.length o.failures > 0

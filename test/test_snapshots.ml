@@ -29,8 +29,8 @@ let same_outcome (a : Hypervisor.Controller.outcome)
   && List.length a.trace = List.length b.trace
   && List.for_all2 Iid.equal (iids_of a) (iids_of b)
   && String.equal
-       (Ksim.Machine.fingerprint a.final)
-       (Ksim.Machine.fingerprint b.final)
+       (Ksim.Engine.fingerprint a.final)
+       (Ksim.Engine.fingerprint b.final)
 
 (* --- fixtures ----------------------------------------------------------- *)
 
@@ -145,6 +145,74 @@ let test_eviction () =
   checkb "evicted prefix falls back to a full run" true
     (same_outcome cached fresh);
   checki "no hits after eviction" 0 (Snapshots.hits cache)
+
+(* --- unit: undo-log snapshot accounting ----------------------------------- *)
+
+(* The LRU budget must track what snapshots actually cost per engine:
+   reference snaps share persistent map structure (a flat constant
+   each), while a compiled chain sharing one arena is charged one full
+   clone at its head and only the marginal undo-log delta for each
+   successor.  Regression test for the accounting bug where every
+   compiled snap was charged as an unrelated machine, exhausting the
+   byte budget n times too fast on undo-log snapshots. *)
+let test_undo_log_accounting () =
+  let group = benign_group () in
+  let chain engine =
+    let rec go m acc =
+      match Ksim.Machine.runnable m with
+      | [] -> List.rev acc
+      | tid :: _ -> (
+        match Ksim.Engine.step m tid with
+        | Ok (m', _) -> go m' (m' :: acc)
+        | Error _ -> List.rev acc)
+    in
+    go (Ksim.Engine.boot engine group) []
+  in
+  let costs ms =
+    List.mapi
+      (fun k m ->
+        let prev = if k = 0 then None else Some (List.nth ms (k - 1)) in
+        Ksim.Engine.snapshot_cost ?prev m)
+      ms
+  in
+  let rc = costs (chain Ksim.Engine.Reference) in
+  checki "benign group runs 7 steps" 7 (List.length rc);
+  List.iter (fun c -> checki "reference snap: flat constant" 256 c) rc;
+  let compiled = chain Ksim.Engine.Compiled in
+  (match costs compiled with
+  | head :: rest ->
+    checki "compiled chain head: one full clone" 4096 head;
+    List.iter
+      (fun c ->
+        checkb
+          (Fmt.str "compiled successor: marginal undo delta (%d bytes)" c)
+          true
+          (c >= 48 && c <= 256))
+      rest
+  | [] -> Alcotest.fail "compiled chain is empty");
+  (* A predecessor from a different boot shares no arena: full clone. *)
+  let unrelated = Ksim.Engine.boot Ksim.Engine.Compiled group in
+  (match compiled with
+  | m :: _ ->
+    checki "unrelated predecessor: full clone" 4096
+      (Ksim.Engine.snapshot_cost ~prev:unrelated m)
+  | [] -> ());
+  (* Cache-level: the stored vector's byte estimate follows the same
+     accounting through Snapshots.store. *)
+  let bytes_with engine =
+    let cache = Snapshots.create () in
+    let vm = Hypervisor.Vm.create ~engine group in
+    ignore (Executor.run_preemption ~snapshots:cache vm serial_sched);
+    Snapshots.cached_bytes cache
+  in
+  checki "reference vector: 1024 + 256*n"
+    (1024 + (256 * 7))
+    (bytes_with Ksim.Engine.Reference);
+  let cb = bytes_with Ksim.Engine.Compiled in
+  checkb
+    (Fmt.str "compiled vector: one clone + marginal deltas (%d bytes)" cb)
+    true
+    (cb >= 1024 + 4096 + (6 * 48) && cb <= 1024 + 4096 + (6 * 256))
 
 (* --- unit: poisoned snapshots are never reused --------------------------- *)
 
@@ -455,6 +523,8 @@ let () =
             test_child_hit;
           Alcotest.test_case "eviction falls back gracefully" `Quick
             test_eviction;
+          Alcotest.test_case "undo-log snapshot accounting" `Quick
+            test_undo_log_accounting;
           Alcotest.test_case "poisoned snapshot never reused" `Quick
             test_poisoned_never_reused;
           Alcotest.test_case "unfired parent switch blocks reuse" `Quick
